@@ -1,0 +1,43 @@
+"""E8: the Section-5.1 client-side simulation vs the native operator.
+
+The paper calibrated its methodology on Q4, the one query where SQL Server
+picked a native GApply plan: the client-side simulation took ~20% longer,
+so all client-simulated numbers are conservative. This benchmark measures
+the native plan and each simulated phase; the printed calibration summary
+comes from ``python -m repro.bench.client_sim``.
+"""
+
+import pytest
+
+from conftest import execute
+from repro.api import Database
+from repro.bench.client_sim import simulate_gapply
+from repro.workloads.queries import query_by_name
+
+OUTER_SQL = (
+    "select ps_suppkey, p_size, p_name, p_retailprice "
+    "from partsupp, part where ps_partkey = p_partkey"
+)
+PER_GROUP_SQL = (
+    "select p_name, p_retailprice from tmpgroup "
+    "where p_retailprice > (select avg(p_retailprice) from tmpgroup)"
+)
+
+
+def test_native_q4(benchmark, prepared):
+    plan = prepared(query_by_name("Q4").gapply_sql)
+    benchmark(execute, plan)
+
+
+def test_simulated_q4(benchmark, bench_catalog):
+    db = Database(bench_catalog)
+
+    def simulate():
+        phases = simulate_gapply(
+            db, OUTER_SQL, ["ps_suppkey", "p_size"], PER_GROUP_SQL
+        )
+        outer, partition, overestimate, execution, rows = phases
+        return rows
+
+    rows = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert rows > 0

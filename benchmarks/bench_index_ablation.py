@@ -1,0 +1,62 @@
+"""Ablation: what secondary indexes buy the transformation rules.
+
+The paper's server had indexes; the huge Table-1 benefits (selection's
+732x) come from selective predicates turning into cheap index seeks after
+a rule fires. This ablation measures the selection-before-GApply rewrite
+with the planner's index support on and off: the *rule* fires either way,
+but without indexes its benefit is capped by full-scan costs.
+"""
+
+import pytest
+
+from conftest import execute
+from repro.bench.harness import (
+    bind,
+    lower,
+    optimize_with,
+    rules_without,
+    traditional_rules,
+)
+from repro.optimizer.engine import apply_rule_once
+from repro.optimizer.planner import PlannerOptions
+from repro.optimizer.rules import rule_by_name
+from repro.workloads.rule_queries import SELECTION_SWEEP
+
+
+@pytest.fixture(scope="module")
+def selection_plans(bench_catalog):
+    parameter, sql = SELECTION_SWEEP.instances()[1]  # the 905.0 threshold
+    normalized = optimize_with(
+        bench_catalog, bind(bench_catalog, sql), traditional_rules()
+    )
+    rule = rule_by_name("selection_before_gapply")
+    forced = apply_rule_once(normalized, rule, bench_catalog)
+    assert forced is not None
+    treated = optimize_with(
+        bench_catalog, forced, rules_without("selection_before_gapply")
+    )
+    return normalized, treated
+
+
+def test_rule_with_indexes(benchmark, bench_catalog, selection_plans):
+    _, treated = selection_plans
+    plan = lower(bench_catalog, treated, PlannerOptions(use_indexes=True))
+    benchmark(execute, plan)
+
+
+def test_rule_without_indexes(benchmark, bench_catalog, selection_plans):
+    _, treated = selection_plans
+    plan = lower(bench_catalog, treated, PlannerOptions(use_indexes=False))
+    benchmark(execute, plan)
+
+
+def test_no_rule_with_indexes(benchmark, bench_catalog, selection_plans):
+    normalized, _ = selection_plans
+    plan = lower(bench_catalog, normalized, PlannerOptions(use_indexes=True))
+    benchmark(execute, plan)
+
+
+def test_no_rule_without_indexes(benchmark, bench_catalog, selection_plans):
+    normalized, _ = selection_plans
+    plan = lower(bench_catalog, normalized, PlannerOptions(use_indexes=False))
+    benchmark(execute, plan)

@@ -1,0 +1,52 @@
+"""Table 1: effect of each transformation rule.
+
+For every rule the paper benchmarks, the parameterized query's most
+selective instance is measured with the rule forced off (``without``) and
+forced on (``with``); the time ratio is the rule's benefit. The full sweep
+(all parameter values, plus the max/avg/avg-over-wins aggregation) is
+printed by ``python -m repro.bench.table1``.
+
+Run:  pytest benchmarks/bench_table1_rules.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import execute
+from repro.bench.harness import (
+    bind,
+    lower,
+    optimize_with,
+    rules_without,
+    traditional_rules,
+)
+from repro.optimizer.engine import apply_rule_once
+from repro.optimizer.rules import rule_by_name
+from repro.workloads.rule_queries import TABLE1_SWEEPS
+
+SWEEPS = {sweep.rule_name: sweep for sweep in TABLE1_SWEEPS}
+
+
+def _plans(bench_catalog, rule_name):
+    sweep = SWEEPS[rule_name]
+    parameter, sql = sweep.instances()[0]
+    normalized = optimize_with(
+        bench_catalog, bind(bench_catalog, sql), traditional_rules()
+    )
+    rule = rule_by_name(rule_name)
+    forced = apply_rule_once(normalized, rule, bench_catalog)
+    assert forced is not None, f"{rule_name} must fire on its own sweep"
+    without = optimize_with(bench_catalog, normalized, rules_without(rule_name))
+    with_rule = optimize_with(bench_catalog, forced, rules_without(rule_name))
+    return lower(bench_catalog, without), lower(bench_catalog, with_rule)
+
+
+@pytest.mark.parametrize("rule_name", list(SWEEPS), ids=list(SWEEPS))
+def test_table1_without_rule(benchmark, bench_catalog, rule_name):
+    without, _ = _plans(bench_catalog, rule_name)
+    benchmark(execute, without)
+
+
+@pytest.mark.parametrize("rule_name", list(SWEEPS), ids=list(SWEEPS))
+def test_table1_with_rule(benchmark, bench_catalog, rule_name):
+    _, with_rule = _plans(bench_catalog, rule_name)
+    benchmark(execute, with_rule)

@@ -1,0 +1,13 @@
+"""repro: a reproduction of "On Relational Support for XML Publishing:
+Beyond Sorting and Tagging" (Chaudhuri, Kaushik, Naughton; SIGMOD 2003).
+
+A from-scratch relational engine with the paper's GApply operator,
+its optimizer transformation rules, the SQL syntax extension, and an XML
+publishing layer (XML views, sorted outer unions, constant-space tagging).
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import Database, QueryResult  # noqa: E402  (public facade)
+
+__all__ = ["Database", "QueryResult", "__version__"]

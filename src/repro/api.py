@@ -1,0 +1,149 @@
+"""High-level public API: the :class:`Database` facade.
+
+Ties the whole stack together: catalog + SQL front end + optimizer +
+executor. This is what the examples and benchmarks use::
+
+    db = Database()
+    db.create_table("part", [("p_partkey", DataType.INTEGER), ...],
+                    rows, primary_key=["p_partkey"])
+    result = db.sql("select gapply(select avg(p_retailprice) from g) "
+                    "from part group by p_brand : g")
+    print(result.pretty())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.algebra.operators import LogicalOperator
+from repro.execution.base import PhysicalOperator, run_plan
+from repro.execution.context import Counters, ExecutionContext
+from repro.optimizer.engine import OptimizationReport, Optimizer
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+from repro.storage.table import Table, table_from_rows
+from repro.storage.types import DataType
+
+
+@dataclass
+class QueryResult:
+    """Materialized result of one query execution."""
+
+    schema: Schema
+    rows: list[tuple]
+    counters: Counters
+    logical_plan: LogicalOperator
+    physical_plan: PhysicalOperator
+    optimization: OptimizationReport | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_table(self, name: str = "result") -> Table:
+        table = Table(name, self.schema)
+        table.rows = list(self.rows)
+        return table
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.qualified_names()
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def pretty(self, limit: int = 20) -> str:
+        return self.to_table().pretty(limit)
+
+
+class Database:
+    """An in-memory database with GApply support end to end."""
+
+    def __init__(self, catalog: Catalog | None = None):
+        self.catalog = catalog or Catalog()
+
+    # ------------------------------------------------------------------
+    # DDL-ish
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, DataType]],
+        rows: Iterable[Sequence[Any]] = (),
+        primary_key: Sequence[str] | None = None,
+    ) -> Table:
+        table = table_from_rows(name, columns, rows, primary_key)
+        return self.catalog.register(table)
+
+    def add_foreign_key(
+        self,
+        child_table: str,
+        child_columns: Sequence[str],
+        parent_table: str,
+        parent_columns: Sequence[str],
+    ) -> None:
+        self.catalog.add_foreign_key(
+            child_table, child_columns, parent_table, parent_columns
+        )
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def plan(self, sql: str) -> LogicalOperator:
+        """Parse + bind only: the initial logical plan for SQL text."""
+        return Binder(self.catalog).bind(parse(sql))
+
+    def sql(
+        self,
+        text: str,
+        optimize: bool = True,
+        planner_options: PlannerOptions | None = None,
+    ) -> QueryResult:
+        """Run SQL text end to end and materialize the result."""
+        logical = self.plan(text)
+        return self.execute(logical, optimize, planner_options)
+
+    def execute(
+        self,
+        logical: LogicalOperator,
+        optimize: bool = True,
+        planner_options: PlannerOptions | None = None,
+    ) -> QueryResult:
+        """Optimize (optionally), lower, and run a logical plan."""
+        report: OptimizationReport | None = None
+        chosen = logical
+        if optimize:
+            report = Optimizer(self.catalog).optimize(logical)
+            chosen = report.best
+        physical = Planner(self.catalog, planner_options).plan(chosen)
+        ctx = ExecutionContext()
+        rows = run_plan(physical, ctx)
+        return QueryResult(
+            schema=physical.schema,
+            rows=rows,
+            counters=ctx.counters,
+            logical_plan=chosen,
+            physical_plan=physical,
+            optimization=report,
+        )
+
+    def explain(self, sql: str, optimize: bool = True) -> str:
+        """The logical plan (optimized by default) as indented text."""
+        logical = self.plan(sql)
+        if optimize:
+            report = Optimizer(self.catalog).optimize(logical)
+            header = (
+                f"-- cost: {report.best_estimate.cost:.0f} "
+                f"(unoptimized {report.original_estimate.cost:.0f}); "
+                f"rules: {', '.join(report.fired) or 'none'}\n"
+            )
+            return header + report.best.pretty()
+        return logical.pretty()

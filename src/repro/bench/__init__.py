@@ -1,0 +1,21 @@
+"""Benchmark harness: Figure 8, Table 1, and the client-side simulation."""
+
+from repro.bench.harness import (
+    Measurement,
+    RuleEffect,
+    RuleSummary,
+    measure_physical,
+    measure_rule_effect,
+    measure_sql,
+    rules_without,
+)
+
+__all__ = [
+    "Measurement",
+    "RuleEffect",
+    "RuleSummary",
+    "measure_physical",
+    "measure_rule_effect",
+    "measure_sql",
+    "rules_without",
+]

@@ -1,0 +1,224 @@
+"""Measurement utilities shared by all benchmarks.
+
+The paper measures elapsed and CPU time on a cold buffer pool, averaging
+repeated runs. A Python interpreter has neither a buffer pool nor stable
+microsecond timings, so the harness reports two numbers per plan:
+
+* ``elapsed`` — best-of-N wall-clock seconds for executing the *physical*
+  plan (planning and optimization excluded, matching the paper's
+  server-side execution times);
+* ``work`` — the executor's deterministic work-unit counter
+  (:attr:`~repro.execution.context.Counters.total_work`), a noise-free
+  cost proxy that the EXPERIMENTS.md tables quote alongside time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.algebra.operators import LogicalOperator
+from repro.execution.base import PhysicalOperator, run_plan
+from repro.execution.context import Counters, ExecutionContext
+from repro.optimizer.engine import Optimizer, apply_rule_once
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.optimizer.rules import DEFAULT_RULES, Rule
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+
+DEFAULT_REPETITIONS = 3
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured plan execution."""
+
+    elapsed: float
+    work: int
+    rows: int
+    scan_rows: int = 0  # base-table rows read (redundant-join indicator)
+    peak_rows: int = 0  # peak rows buffered by partitioning (memory proxy)
+    cells: int = 0      # cells written to partition/sort/hash buffers
+
+    def ratio_to(self, other: "Measurement") -> float:
+        """self/other elapsed-time ratio (``other`` is the faster plan)."""
+        if other.elapsed == 0:
+            return float("inf")
+        return self.elapsed / other.elapsed
+
+    def work_ratio_to(self, other: "Measurement") -> float:
+        if other.work == 0:
+            return float("inf")
+        return self.work / other.work
+
+
+def measure_physical(
+    plan: PhysicalOperator, repetitions: int = DEFAULT_REPETITIONS
+) -> Measurement:
+    """Best-of-N execution of a physical plan."""
+    best = float("inf")
+    counters = Counters()
+    rows = 0
+    for _ in range(repetitions):
+        ctx = ExecutionContext()
+        start = time.perf_counter()
+        result = run_plan(plan, ctx)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            counters = ctx.counters
+            rows = len(result)
+    return Measurement(
+        best,
+        counters.total_work,
+        rows,
+        counters.table_scan_rows,
+        counters.peak_partition_rows,
+        counters.buffered_cells,
+    )
+
+
+def bind(catalog: Catalog, sql: str) -> LogicalOperator:
+    return Binder(catalog).bind(parse(sql))
+
+
+def optimize_with(
+    catalog: Catalog,
+    logical: LogicalOperator,
+    rules: list[Rule] | None = None,
+) -> LogicalOperator:
+    return Optimizer(catalog, rules).optimize(logical).best
+
+
+def lower(
+    catalog: Catalog,
+    logical: LogicalOperator,
+    options: PlannerOptions | None = None,
+) -> PhysicalOperator:
+    return Planner(catalog, options).plan(logical)
+
+
+def measure_sql(
+    catalog: Catalog,
+    sql: str,
+    optimize: bool = True,
+    options: PlannerOptions | None = None,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> Measurement:
+    """Bind, (optionally) optimize, lower and measure one SQL query."""
+    logical = bind(catalog, sql)
+    if optimize:
+        logical = optimize_with(catalog, logical)
+    return measure_physical(lower(catalog, logical, options), repetitions)
+
+
+def rules_without(excluded: str) -> list[Rule]:
+    """The default rule set minus the named rule (Table-1 methodology)."""
+    return [rule for rule in DEFAULT_RULES if rule.name != excluded]
+
+
+@dataclass(frozen=True)
+class RuleEffect:
+    """One Table-1 data point: the same query with and without one rule."""
+
+    parameter: object
+    without_rule: Measurement
+    with_rule: Measurement
+    fired: bool
+
+    @property
+    def benefit(self) -> float:
+        """time(without) / time(with); > 1 means the rule helped."""
+        return self.without_rule.ratio_to(self.with_rule)
+
+    @property
+    def work_benefit(self) -> float:
+        return self.without_rule.work_ratio_to(self.with_rule)
+
+    @property
+    def cells_benefit(self) -> float:
+        """Buffered-cells ratio — the I/O/memory story behind the
+        projection and aggregate-selection rules."""
+        if self.with_rule.cells == 0:
+            return float("inf") if self.without_rule.cells else 1.0
+        return self.without_rule.cells / self.with_rule.cells
+
+    @property
+    def memory_benefit(self) -> float:
+        """Peak partition-buffer rows ratio (Section 4.2's argument)."""
+        if self.with_rule.peak_rows == 0:
+            return float("inf") if self.without_rule.peak_rows else 1.0
+        return self.without_rule.peak_rows / self.with_rule.peak_rows
+
+
+#: The "traditional" rules (Selinger-style normalizations the paper takes
+#: for granted: annotated join trees, column pruning). Applied before a
+#: rule under test is forced, and as cleanup afterwards on both sides.
+TRADITIONAL_RULE_NAMES = ("select_pushdown", "narrow_prune", "collapse_project")
+
+
+def traditional_rules() -> list[Rule]:
+    return [r for r in DEFAULT_RULES if r.name in TRADITIONAL_RULE_NAMES]
+
+
+def measure_rule_effect(
+    catalog: Catalog,
+    sql: str,
+    rule: Rule,
+    parameter: object,
+    options: PlannerOptions | None = None,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> RuleEffect:
+    """The paper's per-parameter methodology for Table 1.
+
+    1. Normalize the bound plan with only the traditional rules (annotated
+       join tree, column pruning) — the paper's Section 4 starting shape.
+    2. *without* — the normalized plan optimized by every rule except the
+       one under test.
+    3. *with* — the rule under test fired once on the normalized plan
+       (forced, whether or not the cost model would choose it — Table 1
+       shows rules can lose), then the same cleanup as step 2.
+    """
+    normalized = optimize_with(catalog, bind(catalog, sql), traditional_rules())
+    forced = apply_rule_once(normalized, rule, catalog)
+    base_logical = optimize_with(catalog, normalized, rules_without(rule.name))
+    without = measure_physical(lower(catalog, base_logical, options), repetitions)
+    if forced is None:
+        return RuleEffect(parameter, without, without, fired=False)
+    treated_logical = optimize_with(catalog, forced, rules_without(rule.name))
+    with_rule = measure_physical(
+        lower(catalog, treated_logical, options), repetitions
+    )
+    return RuleEffect(parameter, without, with_rule, fired=True)
+
+
+@dataclass(frozen=True)
+class RuleSummary:
+    """A Table-1 row: max / average / average-over-wins benefit."""
+
+    rule_name: str
+    title: str
+    effects: tuple[RuleEffect, ...]
+
+    @property
+    def maximum_benefit(self) -> float:
+        return max((e.benefit for e in self.effects if e.fired), default=1.0)
+
+    @property
+    def average_benefit(self) -> float:
+        fired = [e.benefit for e in self.effects if e.fired]
+        if not fired:
+            return 1.0
+        return sum(fired) / len(fired)
+
+    @property
+    def average_over_wins(self) -> float:
+        wins = [e.benefit for e in self.effects if e.fired and e.benefit > 1.0]
+        if not wins:
+            return 1.0
+        return sum(wins) / len(wins)
+
+    @property
+    def always_wins(self) -> bool:
+        return all(e.benefit > 1.0 for e in self.effects if e.fired)

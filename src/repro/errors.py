@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch engine failures without also swallowing programming errors such as
+``TypeError`` raised by their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a column reference cannot be resolved."""
+
+
+class AmbiguousColumnError(SchemaError):
+    """An unqualified column name matches more than one column."""
+
+    def __init__(self, name: str, candidates: list[str]):
+        self.name = name
+        self.candidates = candidates
+        super().__init__(
+            f"column reference {name!r} is ambiguous; candidates: "
+            + ", ".join(sorted(candidates))
+        )
+
+
+class UnknownColumnError(SchemaError):
+    """A column reference does not match any column in scope."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = available or []
+        message = f"unknown column {name!r}"
+        if self.available:
+            message += "; available: " + ", ".join(self.available)
+        super().__init__(message)
+
+
+class TypeCheckError(ReproError):
+    """An expression or operator is applied to values of the wrong type."""
+
+
+class CatalogError(ReproError):
+    """A table or constraint is missing from, or conflicts with, the catalog."""
+
+
+class ConstraintError(ReproError):
+    """Data violates a declared key or foreign-key constraint."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    known, so front ends can point at the error location.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """A parsed query failed semantic analysis (name resolution, typing)."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or cannot be lowered to a physical plan."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer reached an inconsistent state while rewriting a plan."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class XmlPublishError(ReproError):
+    """An XML view, XQuery expression, or tagging step is invalid."""

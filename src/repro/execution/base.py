@@ -1,0 +1,74 @@
+"""Physical operator protocol.
+
+Physical operators follow the Volcano iterator model: ``execute(ctx)``
+returns a fresh iterator over output rows. Plans are built once (expressions
+compiled to closures against child schemas at construction) and can be
+re-executed many times — GApply re-runs its per-group plan once per group,
+and Apply re-runs its inner plan once per outer row, so cheap re-execution
+is a load-bearing property here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.execution.context import Counters, ExecutionContext
+from repro.storage.schema import Schema
+from repro.storage.table import Row, Table
+
+
+class PhysicalOperator:
+    """Base class; subclasses set ``schema`` and implement ``execute``."""
+
+    schema: Schema
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self.label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+def run_plan(
+    plan: PhysicalOperator, ctx: ExecutionContext | None = None
+) -> list[Row]:
+    """Execute a plan to completion, returning the materialized result."""
+    if ctx is None:
+        ctx = ExecutionContext()
+    return list(plan.execute(ctx))
+
+
+def run_plan_to_table(
+    plan: PhysicalOperator, name: str = "result", ctx: ExecutionContext | None = None
+) -> Table:
+    """Execute a plan and wrap the result in a :class:`Table`."""
+    table = Table(name, plan.schema)
+    table.rows = run_plan(plan, ctx)
+    return table
+
+
+class PMaterialized(PhysicalOperator):
+    """A physical leaf over an in-memory row list (testing / temp results)."""
+
+    def __init__(self, schema: Schema, rows: Sequence[Row]):
+        self.schema = schema
+        self._rows = list(rows)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        for row in self._rows:
+            counters.rows += 1
+            yield row
+
+    def label(self) -> str:
+        return f"Materialized({len(self._rows)} rows)"

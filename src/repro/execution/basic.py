@@ -1,0 +1,270 @@
+"""Row-at-a-time physical operators: filter, project, distinct, sort, union.
+
+All expressions are compiled to closures at construction time; ``execute``
+only runs the closures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import operator
+
+from repro.algebra.expressions import Expression
+from repro.execution.base import PhysicalOperator
+from repro.execution.context import ExecutionContext
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Row
+from repro.storage.types import grouping_key
+
+
+class PFilter(PhysicalOperator):
+    """Keep rows where the predicate evaluates to TRUE (not NULL)."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self._evaluate = predicate.compile(child.schema)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        evaluate = self._evaluate
+        counters = ctx.counters
+        for row in self.child.execute(ctx):
+            counters.comparisons += 1
+            if evaluate(row, ctx) is True:
+                counters.rows += 1
+                yield row
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter[{self.predicate}]"
+
+
+class PProject(PhysicalOperator):
+    """Evaluate a list of expressions per row (no duplicate elimination)."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        items: Sequence[tuple[Expression, str]],
+    ):
+        self.child = child
+        self.items = tuple(items)
+        self.schema = Schema(
+            Column(name, expr.infer(child.schema)) for expr, name in self.items
+        )
+        self._evaluators = [expr.compile(child.schema) for expr, _ in self.items]
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        evaluators = self._evaluators
+        counters = ctx.counters
+        for row in self.child.execute(ctx):
+            counters.rows += 1
+            yield tuple(evaluate(row, ctx) for evaluate in evaluators)
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        inner = ", ".join(name for _, name in self.items)
+        return f"Project[{inner}]"
+
+
+class PPrune(PhysicalOperator):
+    """Positional column pruning preserving the original Column metadata."""
+
+    def __init__(self, child: PhysicalOperator, references: Sequence[str]):
+        self.child = child
+        self.references = tuple(references)
+        self._positions = child.schema.indices_of(references)
+        self.schema = child.schema.project(references)
+        self._getter = self._make_getter(self._positions)
+
+    @staticmethod
+    def _make_getter(positions):
+        if len(positions) == 1:
+            position = positions[0]
+            return lambda row: (row[position],)
+        return operator.itemgetter(*positions)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        getter = self._getter
+        counters = ctx.counters
+        for row in self.child.execute(ctx):
+            counters.rows += 1
+            yield getter(row)
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Prune[{', '.join(self.references)}]"
+
+
+class PDistinct(PhysicalOperator):
+    """Hash-based duplicate elimination over whole rows."""
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self.schema = child.schema
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        seen: set[tuple] = set()
+        width = len(self.schema)
+        for row in self.child.execute(ctx):
+            key = grouping_key(row)
+            counters.hash_inserts += 1
+            if key in seen:
+                continue
+            seen.add(key)
+            counters.buffered_cells += width
+            counters.rows += 1
+            yield row
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+
+class PSort(PhysicalOperator):
+    """Blocking sort; NULLS FIRST, stable, per-column asc/desc."""
+
+    def __init__(
+        self, child: PhysicalOperator, items: Sequence[tuple[str, bool]]
+    ):
+        self.child = child
+        self.items = tuple(items)
+        self.schema = child.schema
+        self._positions = [
+            (child.schema.index_of(reference), ascending)
+            for reference, ascending in self.items
+        ]
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        rows = list(self.child.execute(ctx))
+        counters.buffered_cells += len(rows) * len(self.schema)
+        # Stable multi-key sort: apply keys right-to-left.
+        for position, ascending in reversed(self._positions):
+            rows.sort(
+                key=lambda row: grouping_key((row[position],)),
+                reverse=not ascending,
+            )
+        counters.comparisons += len(rows)
+        for row in rows:
+            counters.rows += 1
+            yield row
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        inner = ", ".join(
+            f"{ref}{'' if asc else ' DESC'}" for ref, asc in self.items
+        )
+        return f"Sort[{inner}]"
+
+
+class PUnionAll(PhysicalOperator):
+    """Concatenate children outputs (bag union)."""
+
+    def __init__(self, inputs: Sequence[PhysicalOperator]):
+        if not inputs:
+            raise ValueError("PUnionAll requires at least one input")
+        self.inputs = tuple(inputs)
+        self.schema = Schema(
+            Column(c.name, c.dtype) for c in self.inputs[0].schema
+        )
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        for child in self.inputs:
+            for row in child.execute(ctx):
+                counters.rows += 1
+                yield row
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return self.inputs
+
+
+class PRemap(PhysicalOperator):
+    """Positional passthrough with explicit output column identities."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        items: Sequence[tuple[str, Column]],
+    ):
+        self.child = child
+        self.items = tuple(items)
+        self._positions = [child.schema.index_of(ref) for ref, _ in self.items]
+        columns = []
+        for (reference, column), position in zip(self.items, self._positions):
+            source = child.schema[position]
+            columns.append(
+                Column(
+                    column.name,
+                    source.dtype,
+                    column.qualifier,
+                    column.nullable or source.nullable,
+                )
+            )
+        self.schema = Schema(columns)
+        self._getter = PPrune._make_getter(self._positions)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        getter = self._getter
+        counters = ctx.counters
+        for row in self.child.execute(ctx):
+            counters.rows += 1
+            yield getter(row)
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+
+class PAlias(PhysicalOperator):
+    """Identity on rows; re-qualifies the output schema (derived-table AS)."""
+
+    def __init__(self, child: PhysicalOperator, name: str):
+        self.child = child
+        self.name = name
+        self.schema = child.schema.qualify(name)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return self.child.execute(ctx)
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Alias({self.name})"
+
+
+class PLimit(PhysicalOperator):
+    """Emit at most ``limit`` rows (used by examples and the tagger demos)."""
+
+    def __init__(self, child: PhysicalOperator, limit: int):
+        self.child = child
+        self.limit = limit
+        self.schema = child.schema
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self.limit <= 0:
+            return
+        emitted = 0
+        for row in self.child.execute(ctx):
+            ctx.counters.rows += 1
+            yield row
+            emitted += 1
+            if emitted >= self.limit:
+                return
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Limit[{self.limit}]"

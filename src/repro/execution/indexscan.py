@@ -1,0 +1,172 @@
+"""Index-based physical operators.
+
+:class:`PIndexSeek` replaces a filter-over-scan with an equality or range
+probe into a :class:`~repro.storage.index.TableIndex`;
+:class:`PIndexNestedLoopJoin` replaces a hash join when one side is a
+(possibly filtered) indexed base table and the other side is small — the
+access paths the paper's biggest rule benefits rely on (selective covering
+ranges, group-id reconstruction joins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.algebra.expressions import Expression
+from repro.errors import PlanError
+from repro.execution.base import PhysicalOperator
+from repro.execution.context import ExecutionContext
+from repro.storage.index import TableIndex
+from repro.storage.table import Row, Table
+
+
+class PIndexSeek(PhysicalOperator):
+    """Seek into one table via an index.
+
+    Exactly one of the two probe modes is used:
+
+    * equality — ``equal_values`` (constants) probed against a (possibly
+      multi-column) hash index;
+    * range — ``low``/``high`` bounds against a single-column ordered
+      index.
+
+    ``residual`` filters the fetched rows (the non-indexed conjuncts).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        index: TableIndex,
+        alias: str | None = None,
+        equal_values: Sequence[Any] | None = None,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        residual: Expression | None = None,
+    ):
+        if (equal_values is None) == (low is None and high is None):
+            raise PlanError(
+                "PIndexSeek needs exactly one of equality values or bounds"
+            )
+        self.table = table
+        self.index = index
+        self.alias = alias
+        self.equal_values = (
+            None if equal_values is None else tuple(equal_values)
+        )
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.schema = table.schema.qualify(alias or table.name)
+        self.residual = residual
+        self._evaluate_residual = (
+            None if residual is None else residual.compile(self.schema)
+        )
+
+    def _fetch(self) -> Iterator[Row]:
+        if self.equal_values is not None:
+            yield from self.index.lookup(self.equal_values)
+        else:
+            yield from self.index.range_scan(
+                self.low, self.high, self.low_inclusive, self.high_inclusive
+            )
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        residual = self._evaluate_residual
+        for row in self._fetch():
+            counters.table_scan_rows += 1
+            if residual is not None:
+                counters.comparisons += 1
+                if residual(row, ctx) is not True:
+                    continue
+            counters.rows += 1
+            yield row
+
+    def label(self) -> str:
+        columns = ",".join(self.index.columns)
+        if self.equal_values is not None:
+            probe = f"= {self.equal_values}"
+        else:
+            low = "" if self.low is None else f"{self.low} <= "
+            high = "" if self.high is None else f" <= {self.high}"
+            probe = f"range {low}{columns}{high}"
+        residual = "" if self.residual is None else f" AND {self.residual}"
+        return f"IndexSeek({self.table.name}.{columns} {probe}{residual})"
+
+
+class PIndexNestedLoopJoin(PhysicalOperator):
+    """For each outer row, look up matching inner rows through an index.
+
+    ``outer_key_positions`` name the outer row slots probed against the
+    inner index; output rows are ``outer_row + inner_row`` when
+    ``outer_is_left`` (default) or ``inner_row + outer_row`` otherwise, so
+    the output schema matches the logical join's column order regardless of
+    which side drives.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner_table: Table,
+        index: TableIndex,
+        outer_keys: Sequence[str],
+        inner_alias: str | None = None,
+        residual: Expression | None = None,
+        outer_is_left: bool = True,
+    ):
+        self.outer = outer
+        self.inner_table = inner_table
+        self.index = index
+        self.outer_keys = tuple(outer_keys)
+        self.inner_alias = inner_alias
+        self.outer_is_left = outer_is_left
+        self._outer_positions = outer.schema.indices_of(outer_keys)
+        inner_schema = inner_table.schema.qualify(
+            inner_alias or inner_table.name
+        )
+        if outer_is_left:
+            self.schema = outer.schema.concat(inner_schema)
+        else:
+            self.schema = inner_schema.concat(outer.schema)
+        self.residual = residual
+        self._evaluate_residual = (
+            None if residual is None else residual.compile(self.schema)
+        )
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        residual = self._evaluate_residual
+        outer_is_left = self.outer_is_left
+        lookup = self.index.lookup
+        positions = self._outer_positions
+        for outer_row in self.outer.execute(ctx):
+            values = tuple(outer_row[i] for i in positions)
+            counters.join_probes += 1
+            for inner_row in lookup(values):
+                combined = (
+                    outer_row + inner_row
+                    if outer_is_left
+                    else inner_row + outer_row
+                )
+                if residual is not None:
+                    counters.comparisons += 1
+                    if residual(combined, ctx) is not True:
+                        continue
+                counters.rows += 1
+                yield combined
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.outer,)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{o}={i}" for o, i in zip(self.outer_keys, self.index.columns)
+        )
+        side = "" if self.outer_is_left else " (inner side left)"
+        return (
+            f"IndexNLJoin({self.inner_table.name} via "
+            f"{','.join(self.index.columns)})[{keys}]{side}"
+        )

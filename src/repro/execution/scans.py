@@ -1,0 +1,56 @@
+"""Leaf physical operators: base-table scan and group scan.
+
+``PGroupScan`` is the physical realization of the paper's relation-valued
+parameter: "When the leaf scan operator receives the relation-valued
+parameter, it understands this to be a temporary relation and reads from it"
+(Section 3). The temporary relation is bound into the execution context by
+``PGApply`` before it runs the per-group plan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.execution.base import PhysicalOperator
+from repro.execution.context import ExecutionContext
+from repro.storage.schema import Schema
+from repro.storage.table import Row, Table
+
+
+class PTableScan(PhysicalOperator):
+    """Full scan of a base table, emitting rows under the qualified schema."""
+
+    def __init__(self, table: Table, alias: str | None = None):
+        self.table = table
+        self.alias = alias
+        self.schema = table.schema.qualify(alias or table.name)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        for row in self.table.rows:
+            counters.rows += 1
+            counters.table_scan_rows += 1
+            yield row
+
+    def label(self) -> str:
+        if self.alias and self.alias != self.table.name:
+            return f"TableScan({self.table.name} AS {self.alias})"
+        return f"TableScan({self.table.name})"
+
+
+class PGroupScan(PhysicalOperator):
+    """Scan of the temporary relation bound to a group variable."""
+
+    def __init__(self, variable: str, schema: Schema):
+        self.variable = variable
+        self.schema = schema
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        counters = ctx.counters
+        for row in ctx.relation(self.variable):
+            counters.rows += 1
+            counters.group_scan_rows += 1
+            yield row
+
+    def label(self) -> str:
+        return f"GroupScan(${self.variable})"

@@ -1,0 +1,203 @@
+"""Index access-path selection, shared by the planner and the cost model.
+
+Given a ``Select(TableScan)`` (or a join side of that shape), decide
+whether an index can serve it and describe how. Keeping the decision logic
+in one module guarantees the cost model prices exactly the access paths the
+planner will produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algebra.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    Literal,
+    conjoin,
+    conjuncts,
+)
+from repro.algebra.operators import (
+    LogicalOperator,
+    Select,
+    TableScan,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.index import TableIndex
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class SeekPlan:
+    """A chosen index seek for Select(TableScan)."""
+
+    table: Table
+    alias: str | None
+    index: TableIndex
+    equal_values: tuple[Any, ...] | None
+    low: Any
+    high: Any
+    low_inclusive: bool
+    high_inclusive: bool
+    residual: Expression | None
+
+    def estimated_fraction(self) -> float:
+        """Rough fraction of the table an equality seek returns."""
+        keys = max(1, self.index.distinct_key_count())
+        return 1.0 / keys
+
+
+@dataclass(frozen=True)
+class JoinSide:
+    """A join input that can be served by index lookups."""
+
+    table: Table
+    alias: str | None
+    index: TableIndex
+    filter_predicate: Expression | None  # applied per fetched row
+
+
+def _bare_column(scan: TableScan, reference: str) -> str | None:
+    """Bare column name of a reference into the scan's (aliased) schema."""
+    schema = scan.schema
+    if not schema.has(reference):
+        return None
+    return schema.column(reference).name
+
+
+def choose_seek(node: Select, catalog: Catalog) -> SeekPlan | None:
+    """An index seek serving ``Select(TableScan)``, or None.
+
+    Preference order: full-equality probe on some index, then a range probe
+    on a single-column ordered index. Non-served conjuncts become the
+    residual filter.
+    """
+    if not isinstance(node.child, TableScan):
+        return None
+    scan = node.child
+    if not catalog.has_table(scan.table_name):
+        return None
+    table = catalog.table(scan.table_name)
+    if not table.indexes:
+        return None
+
+    equals: dict[str, Any] = {}
+    lower: dict[str, tuple[Any, bool]] = {}
+    upper: dict[str, tuple[Any, bool]] = {}
+    classified: dict[int, str | None] = {}
+    all_conjuncts = conjuncts(node.predicate)
+    for position, conjunct in enumerate(all_conjuncts):
+        classified[position] = None
+        if not isinstance(conjunct, Comparison):
+            continue
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right = right, left
+            op = op.flip()
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            continue
+        column = _bare_column(scan, left.name)
+        if column is None or right.value is None:
+            continue
+        if op is ComparisonOp.EQ and column not in equals:
+            equals[column] = right.value
+            classified[position] = f"eq:{column}"
+        elif op in (ComparisonOp.LT, ComparisonOp.LE) and column not in upper:
+            upper[column] = (right.value, op is ComparisonOp.LE)
+            classified[position] = f"hi:{column}"
+        elif op in (ComparisonOp.GT, ComparisonOp.GE) and column not in lower:
+            lower[column] = (right.value, op is ComparisonOp.GE)
+            classified[position] = f"lo:{column}"
+
+    # Full-equality probe.
+    for index in table.indexes.values():
+        if all(column in equals for column in index.columns):
+            served = {f"eq:{column}" for column in index.columns}
+            residual = conjoin(
+                [
+                    conjunct
+                    for position, conjunct in enumerate(all_conjuncts)
+                    if classified[position] not in served
+                ]
+            )
+            return SeekPlan(
+                table,
+                scan.alias,
+                index,
+                tuple(equals[column] for column in index.columns),
+                None,
+                None,
+                True,
+                True,
+                residual,
+            )
+
+    # Range probe.
+    for index in table.indexes.values():
+        if not index.is_single_column:
+            continue
+        column = index.columns[0]
+        if column not in lower and column not in upper:
+            continue
+        served = {f"lo:{column}", f"hi:{column}"}
+        residual = conjoin(
+            [
+                conjunct
+                for position, conjunct in enumerate(all_conjuncts)
+                if classified[position] not in served
+            ]
+        )
+        low, low_inclusive = lower.get(column, (None, True))
+        high, high_inclusive = upper.get(column, (None, True))
+        return SeekPlan(
+            table,
+            scan.alias,
+            index,
+            None,
+            low,
+            high,
+            low_inclusive,
+            high_inclusive,
+            residual,
+        )
+    return None
+
+
+def choose_join_side(
+    side: LogicalOperator,
+    key_references: list[str],
+    catalog: Catalog,
+) -> JoinSide | None:
+    """Can this join input be served by index lookups on its join keys?
+
+    The input must be a bare ``TableScan`` or ``Select(TableScan)`` and the
+    table must have an index covering exactly the (bare) key columns.
+    """
+    filter_predicate: Expression | None = None
+    scan = side
+    if isinstance(scan, Select):
+        filter_predicate = scan.predicate
+        scan = scan.child
+    if not isinstance(scan, TableScan):
+        return None
+    if not catalog.has_table(scan.table_name):
+        return None
+    table = catalog.table(scan.table_name)
+    bare = []
+    for reference in key_references:
+        column = _bare_column(scan, reference)
+        if column is None:
+            return None
+        bare.append(column)
+    index = table.index_on(bare)
+    if index is None:
+        return None
+    # The index lookup supplies values in index-column order; reorder keys
+    # to match when necessary (caller probes with outer values in the same
+    # order as key_references — require exact order match for simplicity).
+    if tuple(index.columns) != tuple(bare):
+        return None
+    return JoinSide(table, scan.alias, index, filter_predicate)

@@ -1,0 +1,352 @@
+"""Cost model for plans containing GApply (Section 4.4).
+
+The paper's sketch, implemented directly:
+
+* **uniform groups** — the cost of GApply is the cost of evaluating the
+  per-group query on one *average* group multiplied by the number of
+  groups; the number of groups is the number of distinct values of the
+  grouping columns; the average group size is the outer result size divided
+  by the number of groups.
+* per-group statistics reduce to whole-relation statistics under the
+  uniformity assumption ("the selectivity of a predicate is the same in all
+  groups"), so selectivity estimation inside the per-group query reuses the
+  base-table statistics.
+
+Costs are abstract work units roughly proportional to tuples touched, which
+is what the executor's :class:`~repro.execution.context.Counters` measure,
+so estimated and observed work are directly comparable in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algebra.expressions import (
+    AggregateCall,
+    And,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.algebra.operators import (
+    Alias,
+    Apply,
+    Distinct,
+    Exists,
+    GApply,
+    GroupBy,
+    GroupScan,
+    Join,
+    JoinKind,
+    Limit,
+    LogicalOperator,
+    OrderBy,
+    Project,
+    Prune,
+    Remap,
+    Select,
+    TableScan,
+    Union,
+    UnionAll,
+)
+from repro.errors import OptimizerError
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import ColumnStatistics
+
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_GROUP_ROWS = 16.0
+
+#: Per-column surcharge for operations that buffer or copy whole rows
+#: (GApply partitioning, sorts, distinct hashing). Width-proportional costs
+#: are what make the projection-before-GApply rule pay off.
+WIDTH_FACTOR = 0.25
+
+
+def _width(node: LogicalOperator) -> float:
+    return float(len(node.schema))
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Estimated output cardinality and cumulative cost of a subtree."""
+
+    rows: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", max(0.0, self.rows))
+        object.__setattr__(self, "cost", max(0.0, self.cost))
+
+
+class CostModel:
+    """Cardinality/cost estimation over logical plans."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Statistics lookup
+    # ------------------------------------------------------------------
+
+    def _column_stats(self, reference: str) -> ColumnStatistics | None:
+        """Find base-table statistics for a column reference.
+
+        References may be qualified by an alias rather than the table name,
+        so the lookup falls back to the bare column name, searching every
+        table (TPC-H column names are globally unique, as the paper's
+        queries assume).
+        """
+        bare = reference.rsplit(".", 1)[-1]
+        for table in self.catalog:
+            stats = self.catalog.statistics(table.name)
+            found = stats.column(bare)
+            if found is not None:
+                return found
+        return None
+
+    def _distinct(self, reference: str, fallback_rows: float) -> float:
+        stats = self._column_stats(reference)
+        if stats is None or stats.distinct_count == 0:
+            return max(1.0, math.sqrt(max(fallback_rows, 1.0)))
+        return float(stats.distinct_count)
+
+    # ------------------------------------------------------------------
+    # Selectivity
+    # ------------------------------------------------------------------
+
+    def selectivity(self, predicate: Expression | None) -> float:
+        if predicate is None:
+            return 1.0
+        if isinstance(predicate, And):
+            result = 1.0
+            for operand in predicate.operands:
+                result *= self.selectivity(operand)
+            return result
+        if isinstance(predicate, Or):
+            keep = 1.0
+            for operand in predicate.operands:
+                keep *= 1.0 - self.selectivity(operand)
+            return 1.0 - keep
+        if isinstance(predicate, Not):
+            return 1.0 - self.selectivity(predicate.operand)
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate)
+        if isinstance(predicate, InList):
+            base = self.selectivity(
+                Comparison(
+                    ComparisonOp.EQ, predicate.operand, Literal(None)
+                )
+            )
+            estimate = min(1.0, base * max(1, len(predicate.items)))
+            return 1.0 - estimate if predicate.negated else estimate
+        if isinstance(predicate, IsNull):
+            return 0.05 if not predicate.negated else 0.95
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _comparison_selectivity(self, predicate: Comparison) -> float:
+        left, right = predicate.left, predicate.right
+        # Normalize to column-op-value when possible.
+        if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+            left, right = right, left
+            predicate = Comparison(predicate.op.flip(), left, right)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            if predicate.op is ComparisonOp.EQ:
+                d1 = self._distinct(left.name, 1000.0)
+                d2 = self._distinct(right.name, 1000.0)
+                return 1.0 / max(d1, d2, 1.0)
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(left, ColumnRef):
+            stats = self._column_stats(left.name)
+            value = right.value if isinstance(right, Literal) else None
+            if predicate.op is ComparisonOp.EQ:
+                if stats is not None:
+                    return stats.selectivity_eq(value) if value is not None else (
+                        1.0 / max(1, stats.distinct_count)
+                    )
+                return DEFAULT_EQ_SELECTIVITY
+            if predicate.op is ComparisonOp.NE:
+                return 1.0 - self._comparison_selectivity(
+                    Comparison(ComparisonOp.EQ, left, right)
+                )
+            if stats is not None and isinstance(value, (int, float)):
+                if predicate.op in (ComparisonOp.LT, ComparisonOp.LE):
+                    return stats.selectivity_range(None, float(value))
+                return stats.selectivity_range(float(value), None)
+            return DEFAULT_RANGE_SELECTIVITY
+        return DEFAULT_RANGE_SELECTIVITY
+
+    # ------------------------------------------------------------------
+    # Plan estimation
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self, node: LogicalOperator, group_rows: float = DEFAULT_GROUP_ROWS
+    ) -> Estimate:
+        """Estimate ``node``; ``group_rows`` is the expected size of the
+        group relation for GroupScan leaves (set by enclosing GApply)."""
+        if isinstance(node, TableScan):
+            rows = float(len(self.catalog.table(node.table_name).rows))
+            return Estimate(rows, rows)
+        if isinstance(node, GroupScan):
+            scan_cost = group_rows * (1.0 + WIDTH_FACTOR * _width(node))
+            return Estimate(group_rows, scan_cost)
+        if isinstance(node, Select):
+            child = self.estimate(node.child, group_rows)
+            sel = self.selectivity(node.predicate)
+            if isinstance(node.child, TableScan):
+                from repro.optimizer.access_paths import choose_seek
+
+                seek = choose_seek(node, self.catalog)
+                if seek is not None:
+                    # Index seek: pay for the rows fetched, not the scan.
+                    rows = child.rows * sel
+                    fetched = rows
+                    if seek.residual is not None:
+                        fetched = max(
+                            rows, child.rows * self.selectivity(node.predicate)
+                        )
+                        if seek.equal_values is not None:
+                            fetched = child.rows * seek.estimated_fraction()
+                    seek_cost = math.log2(child.rows + 2.0) + fetched + rows
+                    return Estimate(rows, seek_cost)
+            return Estimate(child.rows * sel, child.cost + child.rows)
+        if isinstance(node, (Project, Prune, Remap, Alias)):
+            child = self.estimate(node.children()[0], group_rows)
+            # Output-width-dependent: constructing narrower rows is cheaper,
+            # which is what lets narrowing/pruning rewrites win.
+            per_row = 0.2 + 0.1 * _width(node)
+            return Estimate(child.rows, child.cost + per_row * child.rows)
+        if isinstance(node, Limit):
+            child = self.estimate(node.child, group_rows)
+            return Estimate(min(child.rows, float(node.count)), child.cost)
+        if isinstance(node, Distinct):
+            child = self.estimate(node.child, group_rows)
+            distinct = self._distinct_rows(node.schema.qualified_names(), child.rows)
+            hash_cost = child.rows * (1.0 + WIDTH_FACTOR * _width(node))
+            return Estimate(distinct, child.cost + hash_cost)
+        if isinstance(node, OrderBy):
+            child = self.estimate(node.child, group_rows)
+            sort_cost = child.rows * (
+                math.log2(child.rows + 2.0) + WIDTH_FACTOR * _width(node)
+            )
+            return Estimate(child.rows, child.cost + sort_cost)
+        if isinstance(node, GroupBy):
+            return self._estimate_groupby(node, group_rows)
+        if isinstance(node, (Union, UnionAll)):
+            rows = 0.0
+            cost = 0.0
+            for child in node.children():
+                estimate = self.estimate(child, group_rows)
+                rows += estimate.rows
+                cost += estimate.cost
+            if isinstance(node, Union):
+                cost += rows
+                rows = self._distinct_rows(node.schema.qualified_names(), rows)
+            return Estimate(rows, cost)
+        if isinstance(node, Exists):
+            child = self.estimate(node.child, group_rows)
+            # Early exit on the first row: charge half the child's cost.
+            return Estimate(1.0, 0.5 * child.cost)
+        if isinstance(node, Apply):
+            outer = self.estimate(node.outer, group_rows)
+            inner = self.estimate(node.inner, group_rows)
+            rows = outer.rows * max(inner.rows, 0.0)
+            if len(node.inner.schema) == 0:
+                rows = outer.rows * min(inner.rows, 1.0)
+            if node.bindings:
+                cost = outer.cost + outer.rows * (inner.cost + 1.0)
+            else:
+                # Uncorrelated inner is evaluated once (executor caches it).
+                cost = outer.cost + inner.cost + outer.rows
+            return Estimate(rows, cost)
+        if isinstance(node, Join):
+            return self._estimate_join(node, group_rows)
+        if isinstance(node, GApply):
+            return self._estimate_gapply(node, group_rows)
+        raise OptimizerError(f"no cost estimate for {type(node).__name__}")
+
+    def _distinct_rows(self, references: list[str], input_rows: float) -> float:
+        product = 1.0
+        for reference in references:
+            product *= self._distinct(reference, input_rows)
+            if product >= input_rows:
+                return max(1.0, input_rows)
+        return max(1.0, min(product, input_rows))
+
+    def _estimate_groupby(self, node: GroupBy, group_rows: float) -> Estimate:
+        child = self.estimate(node.child, group_rows)
+        if node.is_scalar_aggregate:
+            return Estimate(1.0, child.cost + child.rows)
+        groups = self._distinct_rows(list(node.keys), child.rows)
+        return Estimate(groups, child.cost + child.rows)
+
+    def _estimate_join(self, node: Join, group_rows: float) -> Estimate:
+        left = self.estimate(node.left, group_rows)
+        right = self.estimate(node.right, group_rows)
+        pairs = node.equijoin_pairs()
+        if pairs:
+            sel = 1.0
+            for left_ref, right_ref in pairs:
+                d1 = self._distinct(left_ref, left.rows)
+                d2 = self._distinct(right_ref, right.rows)
+                sel /= max(d1, d2, 1.0)
+            rows = left.rows * right.rows * sel
+            cost = left.cost + right.cost + left.rows + right.rows + rows
+            index_cost = self._index_join_cost(node, pairs, left, right, rows)
+            if index_cost is not None:
+                cost = min(cost, index_cost)
+        else:
+            sel = self.selectivity(node.predicate)
+            rows = left.rows * right.rows * sel
+            cost = left.cost + right.cost + left.rows * max(right.rows, 1.0)
+        if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            rows = min(rows, left.rows)
+        return Estimate(rows, cost)
+
+    def _index_join_cost(self, node, pairs, left, right, rows):
+        """Cost of serving this join as an index nested loop, if possible
+        (mirrors the planner's access-path choice)."""
+        from repro.optimizer.access_paths import choose_join_side
+
+        left_keys = [pair[0] for pair in pairs]
+        right_keys = [pair[1] for pair in pairs]
+        best = None
+        right_side = choose_join_side(node.right, right_keys, self.catalog)
+        if right_side is not None:
+            matches = max(
+                1.0, right.rows / max(1, right_side.index.distinct_key_count())
+            )
+            best = left.cost + left.rows * (1.0 + matches) + rows
+        left_side = choose_join_side(node.left, left_keys, self.catalog)
+        if left_side is not None:
+            matches = max(
+                1.0, left.rows / max(1, left_side.index.distinct_key_count())
+            )
+            candidate = right.cost + right.rows * (1.0 + matches) + rows
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    def _estimate_gapply(self, node: GApply, group_rows: float) -> Estimate:
+        outer = self.estimate(node.outer, group_rows)
+        groups = self._distinct_rows(list(node.grouping_columns), outer.rows)
+        groups = min(groups, max(outer.rows, 1.0))
+        avg_group = outer.rows / max(groups, 1.0)
+        per_group = self.estimate(node.per_group, max(avg_group, 1.0))
+        # Partition phase buffers every outer row: width-proportional copy.
+        partition_cost = outer.cost + outer.rows * (
+            1.0 + WIDTH_FACTOR * _width(node.outer)
+        )
+        execution_cost = groups * (per_group.cost + 2.0)
+        return Estimate(
+            groups * per_group.rows, partition_cost + execution_cost
+        )

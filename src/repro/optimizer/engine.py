@@ -1,0 +1,171 @@
+"""The Volcano-style transformation engine.
+
+Rules propose semantics-preserving alternatives for individual nodes; the
+engine splices them into the enclosing tree, explores the resulting space
+to a fixpoint (with a safety cap), costs every alternative with the
+Section-4.4 model, and returns the cheapest plan.
+
+The paper observes that its rules "either push GApply down in the join
+tree, or altogether eliminate GApply, or add new selections and projections
+in the outer subtree ... none of which can be reversed by any of the other
+rules. Hence, successive firing of rules will terminate." The engine also
+deduplicates explored trees structurally, so even rule sets with inverse
+pairs terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import LogicalOperator
+from repro.errors import OptimizerError
+from repro.optimizer.cost import CostModel, Estimate
+from repro.optimizer.rules import DEFAULT_RULES
+from repro.optimizer.rules.base import Rule, RuleContext
+from repro.storage.catalog import Catalog
+
+DEFAULT_MAX_ALTERNATIVES = 128
+
+
+def rewrite_everywhere(
+    tree: LogicalOperator, rule: Rule, context: RuleContext
+) -> list[LogicalOperator]:
+    """All trees obtained by applying ``rule`` at exactly one node."""
+    results: list[LogicalOperator] = list(rule.apply(tree, context))
+    children = tree.children()
+    for index, child in enumerate(children):
+        for new_child in rewrite_everywhere(child, rule, context):
+            new_children = list(children)
+            new_children[index] = new_child
+            try:
+                rebuilt = tree.with_children(tuple(new_children))
+                rebuilt.schema  # force validation
+            except Exception:
+                continue
+            results.append(rebuilt)
+    return results
+
+
+@dataclass
+class OptimizationReport:
+    """Outcome of an optimization run: the chosen plan plus provenance."""
+
+    best: LogicalOperator
+    best_estimate: Estimate
+    original_estimate: Estimate
+    explored: int
+    fired: list[str] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return self.best_estimate.cost < self.original_estimate.cost
+
+
+class Optimizer:
+    """Exhaustive (capped) rule application + cost-based plan choice."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rules: list[Rule] | None = None,
+        max_alternatives: int = DEFAULT_MAX_ALTERNATIVES,
+    ):
+        self.catalog = catalog
+        self.rules = list(DEFAULT_RULES if rules is None else rules)
+        self.max_alternatives = max_alternatives
+
+    def explore(self, plan: LogicalOperator) -> list[LogicalOperator]:
+        """Every distinct plan reachable by rule application (incl. input)."""
+        context = RuleContext(self.catalog)
+        seen: set[LogicalOperator] = {plan}
+        ordered: list[LogicalOperator] = [plan]
+        frontier: list[LogicalOperator] = [plan]
+        while frontier and len(ordered) < self.max_alternatives:
+            tree = frontier.pop(0)
+            for rule in self.rules:
+                for alternative in rewrite_everywhere(tree, rule, context):
+                    if alternative in seen:
+                        continue
+                    seen.add(alternative)
+                    ordered.append(alternative)
+                    frontier.append(alternative)
+                    if len(ordered) >= self.max_alternatives:
+                        return ordered
+        return ordered
+
+    def optimize(self, plan: LogicalOperator) -> OptimizationReport:
+        """Pick the cheapest alternative under the Section-4.4 cost model."""
+        model = CostModel(self.catalog)
+        original = model.estimate(plan)
+        alternatives = self.explore(plan)
+        best = plan
+        best_estimate = original
+        for alternative in alternatives[1:]:
+            if alternative.schema != plan.schema:
+                raise OptimizerError(
+                    "rule produced a plan with a different output schema:\n"
+                    f"  original: {plan.schema!r}\n"
+                    f"  rewritten: {alternative.schema!r}"
+                )
+            estimate = model.estimate(alternative)
+            if estimate.cost < best_estimate.cost:
+                best = alternative
+                best_estimate = estimate
+        fired = _diff_rule_trace(plan, best, self.rules, self.catalog)
+        return OptimizationReport(
+            best=best,
+            best_estimate=best_estimate,
+            original_estimate=original,
+            explored=len(alternatives),
+            fired=fired,
+        )
+
+
+def _diff_rule_trace(
+    original: LogicalOperator,
+    best: LogicalOperator,
+    rules: list[Rule],
+    catalog: Catalog,
+) -> list[str]:
+    """Reconstruct one sequence of rule firings leading to ``best``.
+
+    Breadth-first over single firings, recording the rule names along the
+    found path; purely informational (explain output).
+    """
+    if best == original:
+        return []
+    context = RuleContext(catalog)
+    frontier: list[tuple[LogicalOperator, list[str]]] = [(original, [])]
+    seen = {original}
+    budget = 512
+    while frontier and budget > 0:
+        tree, path = frontier.pop(0)
+        for rule in rules:
+            for alternative in rewrite_everywhere(tree, rule, context):
+                budget -= 1
+                if alternative == best:
+                    return path + [rule.name]
+                if alternative not in seen and len(path) < 6:
+                    seen.add(alternative)
+                    frontier.append((alternative, path + [rule.name]))
+    return ["<trace unavailable>"]
+
+
+def apply_rule_once(
+    plan: LogicalOperator, rule: Rule, catalog: Catalog
+) -> LogicalOperator | None:
+    """First rewrite of ``plan`` by ``rule``, or None. Used by the Table-1
+    harness, which measures each rule's effect in isolation."""
+    context = RuleContext(catalog)
+    rewrites = rewrite_everywhere(plan, rule, context)
+    return rewrites[0] if rewrites else None
+
+
+def optimize(
+    plan: LogicalOperator,
+    catalog: Catalog,
+    rules: list[Rule] | None = None,
+    max_alternatives: int = DEFAULT_MAX_ALTERNATIVES,
+) -> OptimizationReport:
+    """Convenience wrapper around :class:`Optimizer`."""
+    return Optimizer(catalog, rules, max_alternatives).optimize(plan)

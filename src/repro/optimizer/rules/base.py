@@ -1,0 +1,37 @@
+"""Rule protocol for the Volcano-style transformation engine.
+
+A rule inspects a single plan node and proposes *alternative* subtrees with
+identical semantics (same multiset of rows, same output schema). The engine
+splices alternatives into the enclosing tree and costs the resulting plans;
+rules never mutate anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import LogicalOperator
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class RuleContext:
+    """State rules may consult: the catalog (keys, foreign keys, stats)."""
+
+    catalog: Catalog
+
+
+class Rule:
+    """Base class. ``name`` identifies the rule in explain output and in the
+    Table-1 benchmark harness, which fires rules individually."""
+
+    name: str = "rule"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        """Alternatives for ``node`` (empty when the rule does not match)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Rule {self.name}>"

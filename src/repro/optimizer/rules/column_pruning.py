@@ -1,0 +1,101 @@
+"""Classical column pruning: narrow a Prune under a consuming operator.
+
+The binder inserts schema-hygiene :class:`~repro.algebra.operators.Prune`
+nodes (e.g. to drop internal subquery-result columns). These carry *all*
+original columns, which makes the per-group query look like it references
+everything and blocks the projection-before-GApply rule. This rule narrows
+a Prune to the columns its parent actually consumes:
+
+* ``GroupBy(Prune(x, refs))``  -> keep only grouping keys + aggregate args
+* ``Project(Prune(x, refs))``  -> keep only columns in the project items
+* ``Select(Prune(x, refs))``   -> fold predicate columns in, narrowing to
+  predicate + whatever a further ancestor consumes is handled by repeated
+  application through the other two shapes.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    GroupBy,
+    LogicalOperator,
+    Project,
+    Prune,
+)
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+def compose_projects(outer: Project, inner: Project) -> Project:
+    """Fuse ``Project(Project(x))`` into one Project by substitution.
+
+    The outer items reference the inner's output names; substituting each
+    reference with the inner's defining expression yields an equivalent
+    single projection over the inner's child.
+    """
+    mapping = {name: expression for expression, name in inner.items}
+    fused = tuple(
+        (expression.substitute(mapping), name)
+        for expression, name in outer.items
+    )
+    return Project(inner.child, fused)
+
+
+class CollapseProject(Rule):
+    """Project-over-Project fusion (always sound, always at least as
+    cheap; keeps binder-generated rename stacks from hiding patterns the
+    GApply rules match on)."""
+
+    name = "collapse_project"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if isinstance(node, Project) and isinstance(node.child, Project):
+            return [compose_projects(node, node.child)]
+        return []
+
+
+def _narrow(prune: Prune, needed_references: set[str]) -> Prune | None:
+    """Prune restricted to the references its parent needs; None if no
+    narrowing is possible."""
+    schema = prune.schema
+    needed_positions: set[int] = set()
+    for reference in needed_references:
+        if schema.has(reference):
+            needed_positions.add(schema.index_of(reference))
+    kept = [
+        reference
+        for index, reference in enumerate(prune.references)
+        if index in needed_positions
+    ]
+    if not kept:
+        # A parent needing zero columns (count(*)) still requires rows to
+        # exist; keep the first column as the cheapest carrier.
+        kept = [prune.references[0]]
+    if len(kept) == len(prune.references):
+        return None
+    return Prune(prune.child, tuple(kept))
+
+
+class NarrowPrune(Rule):
+    name = "narrow_prune"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if isinstance(node, GroupBy) and isinstance(node.child, Prune):
+            needed: set[str] = set(node.keys)
+            for aggregate in node.aggregates:
+                needed |= aggregate.columns()
+            narrowed = _narrow(node.child, needed)
+            if narrowed is None:
+                return []
+            return [GroupBy(narrowed, node.keys, node.aggregates)]
+        if isinstance(node, Project) and isinstance(node.child, Prune):
+            needed = set()
+            for expression, _ in node.items:
+                needed |= expression.columns()
+            narrowed = _narrow(node.child, needed)
+            if narrowed is None:
+                return []
+            return [Project(narrowed, node.items)]
+        return []

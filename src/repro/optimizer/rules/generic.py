@@ -1,0 +1,94 @@
+"""The paper's two rules that need no traversal of the per-group query.
+
+Section 4, "rules that do not need the per-group query to be traversed":
+
+* ``sigma(RE1 GA_C RE2) = RE1 GA_C sigma(RE2)`` when the selection involves
+  only columns returned by RE2 (the per-group query's output), and
+
+* ``pi_{C u B}(RE1 GA_C RE2) = RE1 GA_C pi_B(RE2)`` — a projection above
+  GApply that keeps the grouping columns and a subset of the per-group
+  output moves inside the per-group query.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColumnRef
+from repro.algebra.operators import (
+    GApply,
+    LogicalOperator,
+    Prune,
+    Select,
+)
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+class PushSelectIntoPerGroup(Rule):
+    """sigma over GApply -> sigma inside the per-group query."""
+
+    name = "push_select_into_per_group"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, Select) or not isinstance(node.child, GApply):
+            return []
+        gapply = node.child
+        pgq_schema = gapply.per_group.schema
+        references = node.predicate.columns()
+        if not references:
+            return []
+        if not all(pgq_schema.has(reference) for reference in references):
+            return []
+        new_per_group = Select(gapply.per_group, node.predicate)
+        return [
+            GApply(
+                gapply.outer,
+                gapply.grouping_columns,
+                new_per_group,
+                gapply.group_variable,
+            )
+        ]
+
+
+class PushProjectIntoPerGroup(Rule):
+    """pi_{C u B} over GApply -> pi_B inside the per-group query.
+
+    Matches a :class:`Prune` (qualifier-preserving projection) above GApply
+    whose kept references split into the grouping-key copies and per-group
+    output columns; the per-group part moves inside. The Prune on top is
+    retained so the overall output schema is unchanged, but the narrowed
+    per-group query now produces less data per group.
+    """
+
+    name = "push_project_into_per_group"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, Prune) or not isinstance(node.child, GApply):
+            return []
+        gapply = node.child
+        pgq_schema = gapply.per_group.schema
+        key_names = {
+            gapply.schema[i].qualified_name
+            for i in range(len(gapply.grouping_columns))
+        }
+        pgq_references: list[str] = []
+        for reference in node.references:
+            column = gapply.schema.column(reference)
+            if column.qualified_name in key_names:
+                continue
+            if pgq_schema.has(reference):
+                pgq_references.append(reference)
+            else:
+                return []  # reference into neither keys nor PGQ output
+        if not pgq_references or len(pgq_references) == len(pgq_schema):
+            return []
+        new_per_group = Prune(gapply.per_group, tuple(pgq_references))
+        rewritten = GApply(
+            gapply.outer,
+            gapply.grouping_columns,
+            new_per_group,
+            gapply.group_variable,
+        )
+        return [Prune(rewritten, node.references)]

@@ -1,0 +1,253 @@
+"""Group selection rules (Section 4.2, Figures 5 and 6).
+
+These rules target per-group queries that treat the group as a complex
+object and either return the *whole group* or nothing, depending on a
+predicate:
+
+* **Exists selection** — "find all suppliers that supply some expensive
+  part": the per-group query returns the group iff some tuple satisfies a
+  selection condition S. Instead of constructing every group and testing
+  it, evaluate S against the outer query, project the distinct group ids,
+  and join the ids back to the outer query to reconstruct exactly the
+  qualifying groups (Figure 5/6).
+
+* **Aggregate selection** — "suppliers whose average part price exceeds x":
+  same two-phase idea, but the qualifying ids come from a GroupBy computing
+  the aggregate and filtering on it. The win the paper describes: per-key
+  sums/counts are tiny compared to hash-partitioning whole groups.
+
+Both rewrites produce exactly the original GApply's output schema: the key
+copies carry the group-variable qualifier (they collide with the returned
+group columns by construction), which the rewrite recreates with an
+:class:`Alias` over the extracted ids.
+
+The canonical group-selection per-group-query shape recognized here is::
+
+    Apply(outer=GroupScan, inner=Exists(<test tree over GroupScan>))
+
+where the test tree is a chain of Select / Prune / Project / Distinct over
+a GroupScan (exists variant), or such a chain over a scalar
+``Aggregate(GroupScan)`` (aggregate variant). This is what the binder
+produces for ``WHERE EXISTS (...)`` / aggregate HAVING-style group
+predicates over the group variable.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    ColumnRef,
+    Expression,
+    col,
+    conjoin,
+    eq,
+)
+from repro.algebra.operators import (
+    Alias,
+    Apply,
+    Distinct,
+    Exists,
+    GApply,
+    GroupBy,
+    GroupScan,
+    Join,
+    LogicalOperator,
+    Project,
+    Prune,
+    Select,
+)
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+def _unwrap_selects(
+    node: LogicalOperator,
+) -> tuple[list[Expression], LogicalOperator]:
+    """Strip Select/Prune/Project/Distinct wrappers, collecting predicates."""
+    predicates: list[Expression] = []
+    current = node
+    while True:
+        if isinstance(current, Select):
+            predicates.append(current.predicate)
+            current = current.child
+        elif isinstance(current, (Prune, Project, Distinct)):
+            current = current.children()[0]
+        else:
+            return predicates, current
+
+
+def _match_group_selection(
+    node: LogicalOperator,
+) -> tuple[Expression | None, LogicalOperator, "Project | None"] | None:
+    """Match ``[Project(...)] Apply(GroupScan, Exists(test))``.
+
+    Returns ``(condition, test_base, projection)`` where ``condition`` is
+    the AND of the selects stripped from the test tree, ``test_base`` is
+    what remains (GroupScan for the exists variant; scalar GroupBy for the
+    aggregate variant), and ``projection`` is an optional row-wise
+    projection of the group (the shape the XML whole-subtree translation
+    produces: branch constants plus payload columns). ``None`` when the
+    pattern does not match.
+    """
+    from repro.algebra.expressions import ColumnRef as _ColumnRef
+    from repro.algebra.expressions import Literal as _Literal
+
+    projection: Project | None = None
+    if isinstance(node, Project):
+        if not all(
+            isinstance(expression, (_ColumnRef, _Literal))
+            for expression, _ in node.items
+        ):
+            return None
+        projection = node
+        node = node.child
+    if not isinstance(node, Apply):
+        return None
+    if not isinstance(node.outer, GroupScan):
+        return None
+    if not isinstance(node.inner, Exists) or node.inner.negated:
+        return None
+    if node.bindings:
+        return None
+    predicates, base = _unwrap_selects(node.inner.child)
+    if not predicates:
+        return None
+    return conjoin(predicates), base, projection
+
+
+def _ids_join(
+    gapply: GApply,
+    qualifying_ids: LogicalOperator,
+    projection: "Project | None" = None,
+) -> LogicalOperator | None:
+    """Join distinct qualifying group ids back to the outer query.
+
+    ``qualifying_ids`` must output exactly the grouping columns (original
+    qualifiers). Without a projection the result reproduces the GApply
+    output schema directly: the id copies aliased by the group variable,
+    then the full group columns. With one (the whole-subtree-with-payload
+    shape), the projection is re-applied over the reconstructed rows and a
+    Remap restores the exact output column identities.
+    """
+    from repro.algebra.expressions import ColumnRef as _ColumnRef
+    from repro.algebra.operators import Remap
+
+    outer = gapply.outer
+    aliased = Alias(qualifying_ids, gapply.group_variable)
+    predicates = []
+    for reference in gapply.grouping_columns:
+        column = outer.schema.column(reference)
+        predicates.append(
+            eq(
+                col(f"{gapply.group_variable}.{column.name}"),
+                col(column.qualified_name),
+            )
+        )
+    try:
+        joined = Join(aliased, outer, conjoin(predicates))
+        if projection is None:
+            if joined.schema != gapply.schema:
+                return None
+            return joined
+        # Re-apply the row-wise projection over the reconstructed groups.
+        # References are re-qualified against the outer schema so the id
+        # copies on the join's left side cannot make them ambiguous.
+        mapping = {}
+        for column in outer.schema:
+            mapping[column.name] = _ColumnRef(column.qualified_name)
+        key_count = len(gapply.grouping_columns)
+        items = []
+        for index in range(key_count):
+            key_column = gapply.schema[index]
+            items.append(
+                (
+                    col(f"{gapply.group_variable}.{key_column.name}"),
+                    f"__gskey{index}",
+                )
+            )
+        for expression, name in projection.items:
+            items.append((expression.substitute(mapping), name))
+        projected = Project(joined, tuple(items))
+        remap_items = []
+        for index, column in enumerate(gapply.schema):
+            source = (
+                f"__gskey{index}"
+                if index < key_count
+                else projected.schema[index].qualified_name
+            )
+            remap_items.append((source, column))
+        rewritten = Remap(projected, tuple(remap_items))
+        if rewritten.schema != gapply.schema:
+            return None
+        return rewritten
+    except Exception:
+        return None
+
+
+class ExistsGroupSelection(Rule):
+    """Figure 5: exists-style group selection -> semijoin-style two-phase
+    evaluation."""
+
+    name = "exists_group_selection"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, GApply):
+            return []
+        match = _match_group_selection(node.per_group)
+        if match is None:
+            return []
+        condition, base, projection = match
+        if not isinstance(base, GroupScan):
+            return []
+        outer = node.outer
+        if not all(outer.schema.has(r) for r in condition.columns()):
+            return []
+        ids = Distinct(
+            Prune(
+                Select(outer, condition),
+                tuple(
+                    outer.schema.column(r).qualified_name
+                    for r in node.grouping_columns
+                ),
+            )
+        )
+        rewritten = _ids_join(node, ids, projection)
+        return [] if rewritten is None else [rewritten]
+
+
+class AggregateGroupSelection(Rule):
+    """Section 4.2's aggregate-condition variant: qualifying ids come from a
+    GroupBy computing the aggregate, filtered on the aggregate condition."""
+
+    name = "aggregate_group_selection"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, GApply):
+            return []
+        match = _match_group_selection(node.per_group)
+        if match is None:
+            return []
+        condition, base, projection = match
+        if not isinstance(base, GroupBy) or not base.is_scalar_aggregate:
+            return []
+        if not isinstance(base.child, GroupScan):
+            return []
+        outer = node.outer
+        aggregated = GroupBy(outer, node.grouping_columns, base.aggregates)
+        # The condition references aggregate output names; they are produced
+        # under the same names by the rebuilt GroupBy.
+        if not all(
+            aggregated.schema.has(r) for r in condition.columns()
+        ):
+            return []
+        ids = Prune(
+            Select(aggregated, condition),
+            tuple(
+                outer.schema.column(r).qualified_name
+                for r in node.grouping_columns
+            ),
+        )
+        rewritten = _ids_join(node, ids, projection)
+        return [] if rewritten is None else [rewritten]

@@ -1,0 +1,169 @@
+"""Pushing GApply below joins: the invariant grouping rule (Section 4.3).
+
+Generalizes Chaudhuri-Shim invariant grouping from groupby to GApply.
+If a node ``n`` of the left-deep join tree under GApply satisfies
+Definition 2 — (1) ``n`` exposes the grouping and gp-eval columns, (2) all
+of ``n``'s join columns are grouping columns, (3) every join above ``n`` is
+a foreign-key join — then the GApply (with its per-group query *adapted* to
+the columns available at ``n``) can run directly above ``n``, and the
+remaining joins run on GApply's (usually far smaller) output (Theorem 2).
+
+Column adaptation: project items in the per-group query whose source
+columns are not available at ``n`` are dropped; they are re-attached by the
+joins above and a final :class:`Remap` restores the original output schema
+exactly.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColumnRef
+from repro.algebra.operators import (
+    GApply,
+    Join,
+    LogicalOperator,
+    Project,
+    Prune,
+    Remap,
+    replace_group_scans,
+)
+from repro.optimizer.properties import (
+    invariant_grouping_node,
+)
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+class PushGApplyBelowJoin(Rule):
+    name = "invariant_grouping"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, GApply) or not isinstance(node.outer, Join):
+            return []
+        target = invariant_grouping_node(node, context.catalog)
+        if target is None:
+            return []
+        available = target.operator.schema
+        outer_schema = node.outer.schema
+
+        # ---- adapt the per-group query to the columns available at n ----
+        adapted, dropped = _adapt_per_group(
+            node.per_group, available, outer_schema
+        )
+        if adapted is None:
+            return []
+        adapted = replace_group_scans(adapted, available)
+        try:
+            pushed = GApply(
+                target.operator,
+                node.grouping_columns,
+                adapted,
+                node.group_variable,
+            )
+        except Exception:
+            return []
+
+        # ---- rebuild the join chain above the relocated GApply ----
+        rebuilt: LogicalOperator = pushed
+        for join in reversed(target.joins_above):
+            rebuilt = Join(rebuilt, join.right, join.predicate, join.kind)
+
+        # ---- restore the original output schema with a Remap ----
+        items = []
+        pushed_schema = pushed.schema
+        key_count = len(node.grouping_columns)
+        original_schema = node.schema
+        for position, column in enumerate(original_schema):
+            if position < key_count:
+                items.append(
+                    (pushed_schema[position].qualified_name, column)
+                )
+                continue
+            name = column.qualified_name
+            if name in dropped:
+                items.append((dropped[name], column))
+            else:
+                items.append((name, column))
+        try:
+            remapped = Remap(rebuilt, tuple(items))
+            if remapped.schema != original_schema:
+                return []
+        except Exception:
+            return []
+        return [remapped]
+
+
+def _adapt_per_group(per_group, available, outer_schema):
+    """Drop unavailable columns from the PGQ's top-level projection.
+
+    Returns ``(adapted_tree, dropped)`` where ``dropped`` maps original
+    output column names to the source reference that the joins above will
+    re-supply. Returns ``(None, {})`` when the per-group query references
+    unavailable columns anywhere it cannot be adapted.
+    """
+    dropped: dict[str, str] = {}
+
+    def unavailable(reference: str) -> bool:
+        return outer_schema.has(reference) and not available.has(reference)
+
+    # Fuse binder-generated Project stacks so the top-level projection is
+    # the real output shape.
+    from repro.optimizer.rules.column_pruning import compose_projects
+
+    while isinstance(per_group, Project) and isinstance(per_group.child, Project):
+        per_group = compose_projects(per_group, per_group.child)
+
+    # Only the top-level projection may need adaptation; anything deeper
+    # referencing unavailable columns disqualifies the rewrite (those are
+    # gp-eval columns, and Definition 2 should already have excluded them,
+    # but unions/subqueries can hide references the property misses).
+    if isinstance(per_group, Project):
+        kept = []
+        for expression, name in per_group.items:
+            references = expression.columns()
+            if any(unavailable(r) for r in references):
+                if isinstance(expression, ColumnRef) and len(references) == 1:
+                    dropped[name] = expression.name
+                    continue
+                return None, {}
+            kept.append((expression, name))
+        if not kept:
+            return None, {}
+        adapted: LogicalOperator = Project(per_group.child, tuple(kept))
+    elif isinstance(per_group, Prune):
+        kept_refs = []
+        for reference in per_group.references:
+            if unavailable(reference):
+                name = per_group.schema.column(reference).qualified_name
+                dropped[name] = reference
+            else:
+                kept_refs.append(reference)
+        if not kept_refs:
+            return None, {}
+        adapted = Prune(per_group.child, tuple(kept_refs))
+    else:
+        adapted = per_group
+
+    # Interior hygiene Prunes (inserted by the binder) may still carry the
+    # dropped columns as pure passthroughs; strip them. Anything *else*
+    # still referencing an unavailable column disqualifies the rewrite.
+    def strip_prunes(node: LogicalOperator) -> LogicalOperator:
+        if isinstance(node, Prune):
+            kept = tuple(
+                reference
+                for reference in node.references
+                if not unavailable(reference)
+            )
+            if kept and kept != node.references:
+                return Prune(node.child, kept)
+        return node
+
+    adapted = adapted.transform_up(strip_prunes)
+
+    # Verify no remaining unavailable references below the adapted root.
+    from repro.optimizer.properties import referenced_columns
+
+    for reference in referenced_columns(adapted):
+        if unavailable(reference):
+            return None, {}
+    return adapted, dropped

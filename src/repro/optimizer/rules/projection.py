@@ -1,0 +1,63 @@
+"""Placing projections before GApply (Section 4.1).
+
+"We extract from the outer query only those columns required by the
+per-group query: only the grouping columns and those columns referred to
+somewhere in PGQ need be projected from the result of the outer query.
+Since the syntax we propose binds *all* columns of the outer query to the
+relation-valued variable, this rule can have a significant impact."
+
+The outer query gets a qualifier-preserving :class:`Prune`, and every
+GroupScan in the per-group query is rewritten to the narrowed schema (the
+GApply invariant requires GroupScan schema == outer output schema).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    GApply,
+    LogicalOperator,
+    Prune,
+    replace_group_scans,
+)
+from repro.optimizer.properties import referenced_columns
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+class ProjectionBeforeGApply(Rule):
+    name = "projection_before_gapply"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, GApply):
+            return []
+        outer_schema = node.outer.schema
+        needed_positions: set[int] = set()
+        for reference in node.grouping_columns:
+            needed_positions.add(outer_schema.index_of(reference))
+        for reference in referenced_columns(node.per_group):
+            if outer_schema.has(reference):
+                needed_positions.add(outer_schema.index_of(reference))
+        if len(needed_positions) >= len(outer_schema):
+            return []  # nothing to prune
+        references = tuple(
+            outer_schema[i].qualified_name for i in sorted(needed_positions)
+        )
+        pruned_outer = Prune(node.outer, references)
+        new_per_group = replace_group_scans(node.per_group, pruned_outer.schema)
+        try:
+            rewritten = GApply(
+                pruned_outer,
+                node.grouping_columns,
+                new_per_group,
+                node.group_variable,
+            )
+            # A per-group query that passes group columns straight through
+            # (e.g. group selection returning the whole group) would change
+            # its output shape under pruning; such queries must keep the
+            # full outer width.
+            if rewritten.schema != node.schema:
+                return []
+        except Exception:
+            return []
+        return [rewritten]

@@ -1,0 +1,146 @@
+"""Pulling GApply above a join — the [12] rule Section 4.3 cites.
+
+Galindo-Legaria & Joshi's SegmentApply work includes a rule to *pull* the
+groupwise processing above a join; together with the invariant-grouping
+push rule, the optimizer can place GApply at any legal height of the join
+chain and pick by cost.
+
+Pattern::
+
+    Join(GApply(T, C, PGQ), R, C = key(R))
+
+where the join equi-matches GApply's grouping-key copies against a
+*unique key* of a base-table side ``R`` (uniqueness is what preserves
+multiset semantics: each group matches at most one R row, so joining
+before or after grouping agrees). Rewrite::
+
+    GApply(Join(T, R), C, PGQ x (select distinct R-columns from $group))
+
+The R columns are constant within each group of the widened outer, so the
+per-group query reproduces them by crossing its old output with the
+one-row distinct over the group — the exact inverse of the push rule's
+Remap adaptation.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColumnRef, Comparison, ComparisonOp, conjoin
+from repro.algebra.operators import (
+    Apply,
+    Distinct,
+    GApply,
+    GroupScan,
+    Join,
+    JoinKind,
+    LogicalOperator,
+    Prune,
+    Select,
+    TableScan,
+    replace_group_scans,
+)
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+def _base_scan(node: LogicalOperator) -> TableScan | None:
+    current = node
+    while isinstance(current, (Select, Prune)):
+        current = current.children()[0]
+    return current if isinstance(current, TableScan) else None
+
+
+class PullGApplyAboveJoin(Rule):
+    name = "pull_gapply_above_join"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, Join) or node.kind != JoinKind.INNER:
+            return []
+        if not isinstance(node.left, GApply):
+            return []
+        gapply = node.left
+        right_scan = _base_scan(node.right)
+        if right_scan is None:
+            return []
+        pairs = node.equijoin_pairs()
+        if not pairs:
+            return []
+
+        # Every equi-pair must match a grouping-key copy of the GApply
+        # output against the right side, and the matched right columns must
+        # form a unique key of the right table.
+        key_count = len(gapply.grouping_columns)
+        key_names = {
+            gapply.schema[i].qualified_name: gapply.grouping_columns[i]
+            for i in range(key_count)
+        }
+        outer_schema = gapply.outer.schema
+        rebuilt_conjuncts = []
+        right_columns = []
+        for left_ref, right_ref in pairs:
+            left_column = gapply.schema.column(left_ref)
+            grouping_ref = key_names.get(left_column.qualified_name)
+            if grouping_ref is None:
+                return []  # joins on a per-group output column: not liftable
+            right_columns.append(node.right.schema.column(right_ref).name)
+            rebuilt_conjuncts.append(
+                Comparison(
+                    ComparisonOp.EQ,
+                    ColumnRef(outer_schema.column(grouping_ref).qualified_name),
+                    ColumnRef(right_ref),
+                )
+            )
+        if not context.catalog.has_table(right_scan.table_name):
+            return []
+        if not context.catalog.is_primary_key(right_scan.table_name, right_columns):
+            return []
+        # Residual (non-equi) conjuncts may reference per-group outputs;
+        # only a pure key-equijoin is safely liftable.
+        residual = [
+            conjunct
+            for conjunct in _conjunct_list(node)
+            if not _is_used_pair(conjunct, pairs)
+        ]
+        if residual:
+            return []
+
+        try:
+            new_outer = Join(
+                gapply.outer, node.right, conjoin(rebuilt_conjuncts), JoinKind.INNER
+            )
+            widened = new_outer.schema
+            pgq = replace_group_scans(gapply.per_group, widened)
+            right_refs = tuple(
+                column.qualified_name for column in node.right.schema
+            )
+            constants = Distinct(Prune(GroupScan(gapply.group_variable, widened), right_refs))
+            new_pgq = Apply(pgq, constants)
+            rewritten = GApply(
+                new_outer,
+                gapply.grouping_columns,
+                new_pgq,
+                gapply.group_variable,
+            )
+            if rewritten.schema != node.schema:
+                return []
+        except Exception:
+            return []
+        return [rewritten]
+
+
+def _conjunct_list(join: Join):
+    from repro.algebra.expressions import conjuncts
+
+    return conjuncts(join.predicate)
+
+
+def _is_used_pair(conjunct, pairs) -> bool:
+    if not (
+        isinstance(conjunct, Comparison)
+        and conjunct.op is ComparisonOp.EQ
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return False
+    names = {conjunct.left.name, conjunct.right.name}
+    return any({a, b} == names for a, b in pairs)

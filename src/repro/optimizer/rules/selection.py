@@ -1,0 +1,99 @@
+"""Placing selections before GApply via covering ranges (Section 4.1).
+
+The rule (Theorem 1 plus its empty-relation caveat):
+
+    RE1 GA_C RE2  =  sigma_{covering-range(RE2)}(RE1) GA_C RE2
+                                                 if RE2(phi) = phi
+
+After pushing the covering range into the outer query, "any selection in
+the operator tree of the per-group query that is logically equivalent to
+the covering range of the root can then be eliminated" — we eliminate
+selects whose predicate is structurally equal to the pushed range (the
+common case where the whole range came from one selection chain).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import (
+    GApply,
+    LogicalOperator,
+    Select,
+)
+from repro.optimizer.properties import (
+    covering_range,
+    empty_on_empty,
+)
+from repro.optimizer.rules.base import Rule, RuleContext
+
+
+class SelectionBeforeGApply(Rule):
+    name = "selection_before_gapply"
+
+    def apply(
+        self, node: LogicalOperator, context: RuleContext
+    ) -> list[LogicalOperator]:
+        if not isinstance(node, GApply):
+            return []
+        if not empty_on_empty(node.per_group):
+            return []
+        range_condition = covering_range(node.per_group)
+        if range_condition is None:
+            return []
+        # Guard against re-firing on our own output: skip when the covering
+        # range already appears as a selection anywhere in the outer query
+        # (pushdown may have moved it off the top).
+        if _range_already_applied(node.outer, range_condition):
+            return []
+        # The range must be expressible over the outer query's columns.
+        outer_schema = node.outer.schema
+        if not all(
+            outer_schema.has(reference)
+            for reference in range_condition.columns()
+        ):
+            return []
+        new_outer = Select(node.outer, range_condition)
+        new_per_group = _eliminate_equivalent_selects(
+            node.per_group, range_condition
+        )
+        return [
+            GApply(
+                new_outer,
+                node.grouping_columns,
+                new_per_group,
+                node.group_variable,
+            )
+        ]
+
+
+def _range_already_applied(
+    outer: LogicalOperator, range_condition: Expression
+) -> bool:
+    """Is every conjunct of the range already enforced by some Select in the
+    outer tree?"""
+    from repro.algebra.expressions import conjuncts
+
+    wanted = set(conjuncts(range_condition))
+    enforced: set[Expression] = set()
+    for node in outer.walk():
+        if isinstance(node, Select):
+            enforced |= set(conjuncts(node.predicate))
+    return wanted <= enforced
+
+
+def _eliminate_equivalent_selects(
+    per_group: LogicalOperator, range_condition: Expression
+) -> LogicalOperator:
+    """Drop per-group selects made redundant by the pushed covering range.
+
+    Only selects whose predicate equals the whole pushed range are removed;
+    they are idempotent re-applications once the outer query is filtered.
+    Selects that merely *contributed* a disjunct (union branches) must stay.
+    """
+
+    def rewrite(node: LogicalOperator) -> LogicalOperator:
+        if isinstance(node, Select) and node.predicate == range_condition:
+            return node.child
+        return node
+
+    return per_group.transform_up(rewrite)

@@ -1,0 +1,18 @@
+"""SQL front end: lexer, parser, AST and binder (with the GApply syntax)."""
+
+from repro.sql.ast import AstQuery, AstSelect
+from repro.sql.binder import Binder, bind_sql
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import Parser, parse
+
+__all__ = [
+    "AstQuery",
+    "AstSelect",
+    "Binder",
+    "Parser",
+    "Token",
+    "TokenType",
+    "bind_sql",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,166 @@
+"""SQL lexer.
+
+Tokenizes the dialect described in :mod:`repro.sql.parser`, including the
+paper's two syntax extensions: the ``gapply`` keyword and the ``:`` group-
+variable separator in the GROUP BY clause ("group by ps_suppkey : tmpSupp").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "group", "by", "having", "order",
+        "union", "all", "distinct", "as", "and", "or", "not", "null",
+        "true", "false", "is", "in", "exists", "between", "case", "when",
+        "then", "else", "end", "gapply", "join", "inner", "cross", "on",
+        "asc", "desc", "limit",
+    }
+)
+
+# Multi-character symbols first so '<=' wins over '<'.
+SYMBOLS = ("<>", "<=", ">=", "!=", "(", ")", ",", ".", "+", "-", "*", "/",
+           "%", "=", "<", ">", ":", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def location() -> tuple[int, int]:
+        return line, index - line_start + 1
+
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            line_start = index
+            continue
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline == -1 else newline
+            continue
+        if char == "'":
+            token_line, token_column = location()
+            index += 1
+            chunks: list[str] = []
+            while True:
+                if index >= length:
+                    raise SqlSyntaxError(
+                        "unterminated string literal", token_line, token_column
+                    )
+                if text[index] == "'":
+                    if index + 1 < length and text[index + 1] == "'":
+                        chunks.append("'")
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                chunks.append(text[index])
+                index += 1
+            tokens.append(
+                Token(TokenType.STRING, "".join(chunks), token_line, token_column)
+            )
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            token_line, token_column = location()
+            start = index
+            seen_dot = False
+            while index < length and (
+                text[index].isdigit() or (text[index] == "." and not seen_dot)
+            ):
+                if text[index] == ".":
+                    # A dot not followed by a digit is a qualifier separator.
+                    if index + 1 >= length or not text[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            if index < length and text[index] in "eE":
+                probe = index + 1
+                if probe < length and text[probe] in "+-":
+                    probe += 1
+                if probe < length and text[probe].isdigit():
+                    index = probe
+                    while index < length and text[index].isdigit():
+                        index += 1
+            tokens.append(
+                Token(TokenType.NUMBER, text[start:index], token_line, token_column)
+            )
+            continue
+        if char.isalpha() or char == "_" or char == "$":
+            token_line, token_column = location()
+            start = index
+            while index < length and (
+                text[index].isalnum() or text[index] in "_$"
+            ):
+                index += 1
+            word = text[start:index]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(
+                    Token(TokenType.KEYWORD, lowered, token_line, token_column)
+                )
+            else:
+                tokens.append(
+                    Token(TokenType.IDENT, word, token_line, token_column)
+                )
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                token_line, token_column = location()
+                tokens.append(
+                    Token(TokenType.SYMBOL, symbol, token_line, token_column)
+                )
+                index += len(symbol)
+                matched = True
+                break
+        if not matched:
+            bad_line, bad_column = location()
+            raise SqlSyntaxError(
+                f"unexpected character {char!r}", bad_line, bad_column
+            )
+    final_line, final_column = location()
+    tokens.append(Token(TokenType.EOF, "", final_line, final_column))
+    return tokens

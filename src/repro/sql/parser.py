@@ -1,0 +1,459 @@
+"""Recursive-descent SQL parser.
+
+Supported dialect (a practical SQL-92 subset plus the paper's extensions):
+
+.. code-block:: text
+
+    query      := select ( UNION [ALL] select )* [ORDER BY order_items] [LIMIT n]
+    select     := SELECT [DISTINCT] select_list
+                  FROM from_item (',' from_item | join_clause)*
+                  [WHERE expr]
+                  [GROUP BY column (',' column)* [':' ident]]
+                  [HAVING expr]
+    select_list:= GAPPLY '(' query ')' [AS '(' ident_list ')']
+                | item (',' item)*         where item := expr [[AS] ident] | '*'
+    from_item  := ident [[AS] ident]
+                | '(' query ')' [AS] ident ['(' ident_list ')']
+    join_clause:= [INNER|CROSS] JOIN from_item [ON expr]
+
+Expressions cover literals, qualified column references, arithmetic,
+comparisons, AND/OR/NOT, IS [NOT] NULL, [NOT] IN (list | subquery),
+[NOT] BETWEEN, [NOT] EXISTS (subquery), scalar subqueries, CASE WHEN, the
+aggregates count/sum/avg/min/max (incl. ``count(*)`` and
+``count(distinct x)``) and the registered scalar functions.
+
+The two paper extensions are exactly those of Section 3.1: the ``gapply``
+keyword in the select list and the ``: var`` group-variable declaration at
+the end of GROUP BY.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import (
+    AstBetween,
+    AstBinary,
+    AstCase,
+    AstColumn,
+    AstDerivedTable,
+    AstExists,
+    AstExpression,
+    AstFunction,
+    AstGApplyItem,
+    AstInList,
+    AstInSubquery,
+    AstIsNull,
+    AstJoin,
+    AstLiteral,
+    AstNode,
+    AstQuery,
+    AstScalarSubquery,
+    AstSelect,
+    AstSelectItem,
+    AstStar,
+    AstTableRef,
+    AstUnary,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+class Parser:
+    """One-shot parser over a token list."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.current
+        shown = token.value or "<end of input>"
+        return SqlSyntaxError(
+            f"{message}, found {shown!r}", token.line, token.column
+        )
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word.upper()}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise self.error(f"expected {symbol!r}")
+
+    def expect_ident(self) -> str:
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        raise self.error("expected identifier")
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> AstQuery:
+        query = self._query()
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return query
+
+    def _query(self) -> AstQuery:
+        selects = [self._select()]
+        union_all = True
+        while self.current.is_keyword("union"):
+            self.advance()
+            if self.accept_keyword("all"):
+                union_all = True
+            else:
+                union_all = False
+            selects.append(self._select())
+        order_by: list[tuple[str, bool]] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            while True:
+                column = self._qualified_name()
+                ascending = True
+                if self.accept_keyword("desc"):
+                    ascending = False
+                else:
+                    self.accept_keyword("asc")
+                order_by.append((column, ascending))
+                if not self.accept_symbol(","):
+                    break
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise self.error("expected LIMIT count")
+            self.advance()
+            limit = int(token.value)
+        return AstQuery(tuple(selects), union_all, tuple(order_by), limit)
+
+    # ------------------------------------------------------------------
+    # SELECT blocks
+    # ------------------------------------------------------------------
+
+    def _select(self) -> AstSelect:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+
+        gapply: AstGApplyItem | None = None
+        items: list[AstSelectItem] = []
+        if self.current.is_keyword("gapply"):
+            self.advance()
+            self.expect_symbol("(")
+            per_group = self._query()
+            self.expect_symbol(")")
+            column_names: tuple[str, ...] = ()
+            if self.accept_keyword("as"):
+                self.expect_symbol("(")
+                column_names = tuple(self._ident_list())
+                self.expect_symbol(")")
+            gapply = AstGApplyItem(per_group, column_names)
+        else:
+            while True:
+                items.append(self._select_item())
+                if not self.accept_symbol(","):
+                    break
+
+        self.expect_keyword("from")
+        from_items: list[AstNode] = [self._from_item()]
+        while True:
+            if self.accept_symbol(","):
+                from_items.append(self._from_item())
+                continue
+            if (
+                self.current.is_keyword("join")
+                or self.current.is_keyword("inner")
+                or self.current.is_keyword("cross")
+            ):
+                cross = self.accept_keyword("cross")
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                right = self._from_item()
+                condition = None
+                if not cross and self.accept_keyword("on"):
+                    condition = self._expression()
+                left = from_items.pop()
+                from_items.append(AstJoin(left, right, condition))
+                continue
+            break
+
+        where = self._expression() if self.accept_keyword("where") else None
+
+        group_by: list[str] = []
+        group_variable: str | None = None
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self._qualified_name())
+            while self.accept_symbol(","):
+                group_by.append(self._qualified_name())
+            if self.accept_symbol(":"):
+                group_variable = self.expect_ident()
+
+        having = self._expression() if self.accept_keyword("having") else None
+
+        return AstSelect(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            group_variable=group_variable,
+            having=having,
+            distinct=distinct,
+            gapply=gapply,
+        )
+
+    def _select_item(self) -> AstSelectItem:
+        if self.current.is_symbol("*"):
+            self.advance()
+            return AstSelectItem(AstStar())
+        # alias.* needs two-token lookahead
+        if (
+            self.current.type is TokenType.IDENT
+            and self.tokens[self.position + 1].is_symbol(".")
+            and self.tokens[self.position + 2].is_symbol("*")
+        ):
+            qualifier = self.advance().value
+            self.advance()  # '.'
+            self.advance()  # '*'
+            return AstSelectItem(AstStar(qualifier))
+        expression = self._expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return AstSelectItem(expression, alias)
+
+    def _from_item(self) -> AstNode:
+        if self.accept_symbol("("):
+            query = self._query()
+            self.expect_symbol(")")
+            self.accept_keyword("as")
+            alias = self.expect_ident()
+            column_names: tuple[str, ...] = ()
+            if self.accept_symbol("("):
+                column_names = tuple(self._ident_list())
+                self.expect_symbol(")")
+            return AstDerivedTable(query, alias, column_names)
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return AstTableRef(name, alias)
+
+    def _ident_list(self) -> list[str]:
+        names = [self.expect_ident()]
+        while self.accept_symbol(","):
+            names.append(self.expect_ident())
+        return names
+
+    def _qualified_name(self) -> str:
+        name = self.expect_ident()
+        while self.accept_symbol("."):
+            name += "." + self.expect_ident()
+        return name
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _expression(self) -> AstExpression:
+        return self._or_expr()
+
+    def _or_expr(self) -> AstExpression:
+        left = self._and_expr()
+        while self.current.is_keyword("or"):
+            self.advance()
+            left = AstBinary("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> AstExpression:
+        left = self._not_expr()
+        while self.current.is_keyword("and"):
+            self.advance()
+            left = AstBinary("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> AstExpression:
+        if self.accept_keyword("not"):
+            return AstUnary("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> AstExpression:
+        if self.current.is_keyword("exists"):
+            self.advance()
+            self.expect_symbol("(")
+            subquery = self._query()
+            self.expect_symbol(")")
+            return AstExists(subquery)
+        left = self._additive()
+        # IS [NOT] NULL
+        if self.current.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return AstIsNull(left, negated)
+        negated = False
+        if self.current.is_keyword("not"):
+            # NOT IN / NOT BETWEEN
+            lookahead = self.tokens[self.position + 1]
+            if lookahead.is_keyword("in") or lookahead.is_keyword("between"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("in"):
+            self.expect_symbol("(")
+            if self.current.is_keyword("select"):
+                subquery = self._query()
+                self.expect_symbol(")")
+                return AstInSubquery(left, subquery, negated)
+            items = [self._expression()]
+            while self.accept_symbol(","):
+                items.append(self._expression())
+            self.expect_symbol(")")
+            return AstInList(left, tuple(items), negated)
+        if self.accept_keyword("between"):
+            low = self._additive()
+            self.expect_keyword("and")
+            high = self._additive()
+            return AstBetween(left, low, high, negated)
+        for op in ("=", "<>", "!=", "<=", ">=", "<", ">"):
+            if self.current.is_symbol(op):
+                self.advance()
+                right = self._additive()
+                return AstBinary("<>" if op == "!=" else op, left, right)
+        return left
+
+    def _additive(self) -> AstExpression:
+        left = self._multiplicative()
+        while self.current.is_symbol("+") or self.current.is_symbol("-"):
+            op = self.advance().value
+            left = AstBinary(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> AstExpression:
+        left = self._unary()
+        while (
+            self.current.is_symbol("*")
+            or self.current.is_symbol("/")
+            or self.current.is_symbol("%")
+        ):
+            op = self.advance().value
+            left = AstBinary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> AstExpression:
+        if self.accept_symbol("-"):
+            return AstUnary("-", self._unary())
+        if self.accept_symbol("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> AstExpression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return AstLiteral(self._number(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return AstLiteral(token.value)
+        if token.is_keyword("null"):
+            self.advance()
+            return AstLiteral(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return AstLiteral(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return AstLiteral(False)
+        if token.is_keyword("case"):
+            return self._case()
+        if token.is_symbol("("):
+            self.advance()
+            if self.current.is_keyword("select"):
+                subquery = self._query()
+                self.expect_symbol(")")
+                return AstScalarSubquery(subquery)
+            inner = self._expression()
+            self.expect_symbol(")")
+            return inner
+        if token.type is TokenType.IDENT:
+            # Function call or column reference.
+            if self.tokens[self.position + 1].is_symbol("("):
+                return self._function_call()
+            return AstColumn(self._qualified_name())
+        raise self.error("expected expression")
+
+    def _case(self) -> AstExpression:
+        self.expect_keyword("case")
+        whens: list[tuple[AstExpression, AstExpression]] = []
+        while self.accept_keyword("when"):
+            condition = self._expression()
+            self.expect_keyword("then")
+            value = self._expression()
+            whens.append((condition, value))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        default = None
+        if self.accept_keyword("else"):
+            default = self._expression()
+        self.expect_keyword("end")
+        return AstCase(tuple(whens), default)
+
+    def _function_call(self) -> AstExpression:
+        name = self.expect_ident().lower()
+        self.expect_symbol("(")
+        if name == "count" and self.accept_symbol("*"):
+            self.expect_symbol(")")
+            return AstFunction("count", (), star=True)
+        distinct = self.accept_keyword("distinct")
+        args: list[AstExpression] = []
+        if not self.current.is_symbol(")"):
+            args.append(self._expression())
+            while self.accept_symbol(","):
+                args.append(self._expression())
+        self.expect_symbol(")")
+        if distinct and name not in AGGREGATE_NAMES:
+            raise self.error(f"DISTINCT is not valid in {name}()")
+        return AstFunction(name, tuple(args), distinct=distinct)
+
+    @staticmethod
+    def _number(text: str) -> Any:
+        if "." in text or "e" in text or "E" in text:
+            return float(text)
+        return int(text)
+
+
+def parse(text: str) -> AstQuery:
+    """Parse SQL text into an :class:`AstQuery`."""
+    return Parser(text).parse_query()

@@ -1,0 +1,196 @@
+"""The catalog: named tables, declared constraints and cached statistics.
+
+The catalog is the engine's notion of a database. It records, besides the
+tables themselves:
+
+* **primary keys** — needed by the invariant-grouping rule to know when a
+  join preserves group multiplicity;
+* **foreign keys** — the paper's Definition 2 requires "every join above n is
+  a foreign-key join", and the optimizer asks the catalog whether an equijoin
+  column pair is a declared key/foreign-key pair;
+* **statistics** — computed lazily, invalidated explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import CatalogError, ConstraintError
+from repro.storage.statistics import TableStatistics, compute_table_statistics
+from repro.storage.table import Table
+from repro.storage.types import grouping_key
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared reference: child.columns -> parent.columns (same arity)."""
+
+    child_table: str
+    child_columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_columns) != len(self.parent_columns):
+            raise CatalogError(
+                "foreign key column lists must have equal length: "
+                f"{self.child_columns} vs {self.parent_columns}"
+            )
+
+
+class Catalog:
+    """A mutable collection of tables with constraints and statistics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+        self._statistics: dict[str, TableStatistics] = {}
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+
+    def register(self, table: Table, replace: bool = False) -> Table:
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+        self._statistics.pop(key, None)
+        return table
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[key]
+        self._statistics.pop(key, None)
+        self._foreign_keys = [
+            fk
+            for fk in self._foreign_keys
+            if fk.child_table.lower() != key and fk.parent_table.lower() != key
+        ]
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(
+                f"unknown table {name!r}; known: {sorted(self._tables)}"
+            )
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(t.name for t in self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __iter__(self) -> Iterable[Table]:
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def add_foreign_key(
+        self,
+        child_table: str,
+        child_columns: Sequence[str],
+        parent_table: str,
+        parent_columns: Sequence[str],
+    ) -> ForeignKey:
+        """Declare a foreign key; tables and columns must already exist."""
+        child = self.table(child_table)
+        parent = self.table(parent_table)
+        for col in child_columns:
+            child.schema.index_of(col)
+        for col in parent_columns:
+            parent.schema.index_of(col)
+        fk = ForeignKey(
+            child.name, tuple(child_columns), parent.name, tuple(parent_columns)
+        )
+        self._foreign_keys.append(fk)
+        return fk
+
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        return tuple(self._foreign_keys)
+
+    def find_foreign_key(
+        self,
+        child_table: str,
+        child_columns: Sequence[str],
+        parent_table: str,
+        parent_columns: Sequence[str],
+    ) -> ForeignKey | None:
+        """The declared FK matching this (possibly reordered) column pairing.
+
+        The pairing matters: (child.a -> parent.x, child.b -> parent.y) is
+        matched as a set of column *pairs*, independent of order.
+        """
+        wanted = set(zip(child_columns, parent_columns))
+        for fk in self._foreign_keys:
+            if (
+                fk.child_table.lower() == child_table.lower()
+                and fk.parent_table.lower() == parent_table.lower()
+                and set(zip(fk.child_columns, fk.parent_columns)) == wanted
+            ):
+                return fk
+        return None
+
+    def is_primary_key(self, table_name: str, columns: Sequence[str]) -> bool:
+        table = self.table(table_name)
+        if table.primary_key is None:
+            return False
+        return set(table.primary_key) == set(columns)
+
+    def validate_constraints(self) -> None:
+        """Check every declared PK and FK against the data.
+
+        Used by loaders and property tests; raises :class:`ConstraintError`
+        on the first violation found.
+        """
+        for table in self._tables.values():
+            table.check_primary_key()
+        for fk in self._foreign_keys:
+            self._validate_foreign_key(fk)
+
+    def _validate_foreign_key(self, fk: ForeignKey) -> None:
+        parent = self.table(fk.parent_table)
+        child = self.table(fk.child_table)
+        parent_positions = parent.schema.indices_of(fk.parent_columns)
+        child_positions = child.schema.indices_of(fk.child_columns)
+        parent_keys = {
+            grouping_key(tuple(row[i] for i in parent_positions))
+            for row in parent.rows
+        }
+        for row in child.rows:
+            values = tuple(row[i] for i in child_positions)
+            if any(v is None for v in values):
+                continue  # SQL FK semantics: NULLs are exempt
+            if grouping_key(values) not in parent_keys:
+                raise ConstraintError(
+                    f"foreign key violation: {fk.child_table}{values!r} has no "
+                    f"parent in {fk.parent_table}({', '.join(fk.parent_columns)})"
+                )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Statistics for a table, computed on first use and cached."""
+        key = name.lower()
+        stats = self._statistics.get(key)
+        if stats is None:
+            stats = compute_table_statistics(self.table(name))
+            self._statistics[key] = stats
+        return stats
+
+    def invalidate_statistics(self, name: str | None = None) -> None:
+        if name is None:
+            self._statistics.clear()
+        else:
+            self._statistics.pop(name.lower(), None)

@@ -1,0 +1,24 @@
+"""Workloads: TPC-H generator and the paper's query catalog."""
+
+from repro.workloads.queries import (
+    PAPER_QUERIES,
+    PaperQuery,
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    query_by_name,
+)
+from repro.workloads.tpch import TpchConfig, load_tpch
+
+__all__ = [
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "TpchConfig",
+    "load_tpch",
+    "query_by_name",
+]

@@ -1,0 +1,257 @@
+"""Parameterized queries for the Table-1 rule-effectiveness study.
+
+Section 5.2: "For each rule, we pick a relevant parameterized query. We
+then vary the parameter and for each of its values, find the performance
+benefit obtained by applying the rule." This module defines one sweep per
+Table-1 row; the harness in :mod:`repro.bench.table1` fires the rule under
+test on each instance and reports max / average / average-over-wins.
+
+All queries run over the TPC-H subset of :mod:`repro.workloads.tpch` and
+use the ``gapply`` syntax, so every sweep starts from a plan containing the
+GApply operator the rule rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class RuleSweep:
+    """One Table-1 row: the rule under test and its parameterized query."""
+
+    rule_name: str
+    title: str
+    parameter_name: str
+    parameters: tuple
+    make_sql: Callable[[object], str]
+
+    def instances(self) -> list[tuple[object, str]]:
+        return [(p, self.make_sql(p)) for p in self.parameters]
+
+
+# ----------------------------------------------------------------------
+# Row 1: Placing Selection before GApply
+# ----------------------------------------------------------------------
+# Figure-3 shape: the per-group query only looks at cheap parts (price at
+# most X); the covering range (p_retailprice <= X) pushes into the outer
+# query, shrinking every group before partitioning. TPC-H retail prices
+# run 900..1100 + 100*(partkey mod 1000) ~ [900, 2001); thresholds sweep
+# the selectivity from ~1/500 to 1.
+
+def _selection_sql(threshold: float) -> str:
+    return f"""
+        select gapply(
+            select p_name, p_retailprice from g
+            where p_retailprice <= {threshold}
+              and p_retailprice >
+                  (select avg(p_retailprice) from g
+                   where p_retailprice <= {threshold})
+        ) as (name, price)
+        from partsupp, part
+        where ps_partkey = p_partkey
+        group by ps_suppkey : g
+    """
+
+
+SELECTION_SWEEP = RuleSweep(
+    rule_name="selection_before_gapply",
+    title="Placing Selection Before GApply",
+    parameter_name="price threshold",
+    parameters=(902.0, 905.0, 925.0, 1000.0, 1200.0, 1500.0, 2100.0),
+    make_sql=_selection_sql,
+)
+
+
+# ----------------------------------------------------------------------
+# Row 2: Placing Projection before GApply
+# ----------------------------------------------------------------------
+# The outer join is wide (partsupp x part is 14 columns, two of them long
+# comments); the per-group query touches only a few. The parameter is how
+# many columns the per-group query returns — the fewer, the more the
+# projection rule saves in partition buffering.
+
+_PROJECTION_COLUMNS = (
+    "p_name",
+    "p_retailprice",
+    "p_size",
+    "p_brand",
+    "p_type",
+    "p_container",
+    "p_comment",
+    "ps_availqty",
+    "ps_supplycost",
+    "ps_comment",
+)
+
+
+def _projection_sql(column_count: int) -> str:
+    columns = ", ".join(_PROJECTION_COLUMNS[:column_count])
+    return f"""
+        select gapply(
+            select {columns} from g
+            where p_retailprice > (select avg(p_retailprice) from g)
+        )
+        from partsupp, part
+        where ps_partkey = p_partkey
+        group by ps_suppkey : g
+    """
+
+
+PROJECTION_SWEEP = RuleSweep(
+    rule_name="projection_before_gapply",
+    title="Placing Projection Before GApply",
+    parameter_name="returned columns",
+    parameters=(1, 2, 4, 6, 10),
+    make_sql=_projection_sql,
+)
+
+
+# ----------------------------------------------------------------------
+# Row 3: Converting GApply to groupby
+# ----------------------------------------------------------------------
+# The per-group query is pure aggregation; the parameter is the number of
+# aggregates computed per group.
+
+_AGGREGATES = (
+    "count(*)",
+    "avg(p_retailprice)",
+    "min(p_retailprice)",
+    "max(p_retailprice)",
+    "sum(ps_availqty)",
+    "min(p_size)",
+)
+
+
+def _to_groupby_sql(aggregate_count: int) -> str:
+    aggregates = ", ".join(_AGGREGATES[:aggregate_count])
+    return f"""
+        select gapply(select {aggregates} from g)
+        from partsupp, part
+        where ps_partkey = p_partkey
+        group by ps_suppkey : g
+    """
+
+
+TO_GROUPBY_SWEEP = RuleSweep(
+    rule_name="gapply_to_groupby",
+    title="Converting GApply To groupby",
+    parameter_name="aggregate count",
+    parameters=(1, 2, 4, 6),
+    make_sql=_to_groupby_sql,
+)
+
+
+# ----------------------------------------------------------------------
+# Row 4: Group selection (exists)
+# ----------------------------------------------------------------------
+# "Find all suppliers that supply some expensive part" — sweep the
+# expensiveness threshold; the rule wins when few groups qualify and can
+# lose when almost all do (it reconstructs every qualifying group with an
+# extra join).
+
+def _exists_selection_sql(threshold: float) -> str:
+    return f"""
+        select gapply(
+            select * from g
+            where exists (select ps_suppkey from g
+                          where p_retailprice > {threshold})
+        )
+        from partsupp, part
+        where ps_partkey = p_partkey
+        group by ps_suppkey : g
+    """
+
+
+EXISTS_SWEEP = RuleSweep(
+    rule_name="exists_group_selection",
+    title="Group Selection: Exists",
+    parameter_name="price threshold",
+    parameters=(2050.0, 2000.0, 1900.0, 1500.0, 1000.0, 0.0),
+    make_sql=_exists_selection_sql,
+)
+
+
+# ----------------------------------------------------------------------
+# Row 5: Group selection (aggregate)
+# ----------------------------------------------------------------------
+# "Suppliers whose average part price exceeds x."
+
+def _aggregate_selection_sql(threshold: float) -> str:
+    return f"""
+        select gapply(
+            select * from g
+            where exists (select 1 from g
+                          having avg(p_retailprice) > {threshold})
+        )
+        from partsupp, part
+        where ps_partkey = p_partkey
+        group by ps_suppkey : g
+    """
+
+
+AGGREGATE_SWEEP = RuleSweep(
+    rule_name="aggregate_group_selection",
+    title="Group Selection: Aggregate",
+    parameter_name="average threshold",
+    parameters=(1700.0, 1550.0, 1500.0, 1450.0, 1300.0, 0.0),
+    make_sql=_aggregate_selection_sql,
+)
+
+
+# ----------------------------------------------------------------------
+# Row 6: Invariant grouping (pushing GApply below a join)
+# ----------------------------------------------------------------------
+# Figure-7 shape: supplier details join above the groupwise processing.
+# The parameter is how many rows the per-group query keeps: when it keeps
+# only the minimum-priced part, the relocated GApply shrinks the input of
+# the supplier join dramatically.
+
+def _invariant_sql(band: float) -> str:
+    condition = (
+        "p_retailprice = (select min(p_retailprice) from g)"
+        if band == 0.0
+        else (
+            f"p_retailprice <= {1.0 + band} * "
+            "(select min(p_retailprice) from g)"
+        )
+    )
+    return f"""
+        select gapply(
+            select s_name, p_name, p_retailprice from g
+            where {condition}
+        ) as (sname, pname, price)
+        from partsupp, part, supplier
+        where ps_partkey = p_partkey and ps_suppkey = s_suppkey
+        group by ps_suppkey : g
+    """
+
+
+INVARIANT_SWEEP = RuleSweep(
+    rule_name="invariant_grouping",
+    title="Invariant Grouping",
+    parameter_name="price band over minimum",
+    parameters=(0.0, 0.05, 0.2, 0.5),
+    make_sql=_invariant_sql,
+)
+
+
+TABLE1_SWEEPS: tuple[RuleSweep, ...] = (
+    SELECTION_SWEEP,
+    PROJECTION_SWEEP,
+    TO_GROUPBY_SWEEP,
+    EXISTS_SWEEP,
+    AGGREGATE_SWEEP,
+    INVARIANT_SWEEP,
+)
+
+
+def sweep_by_rule(rule_name: str) -> RuleSweep:
+    for sweep in TABLE1_SWEEPS:
+        if sweep.rule_name == rule_name:
+            return sweep
+    raise KeyError(
+        f"no sweep for rule {rule_name!r}; known: "
+        + ", ".join(s.rule_name for s in TABLE1_SWEEPS)
+    )

@@ -1,0 +1,56 @@
+"""XML publishing: views, XQuery subset, translation, constant-space
+tagging."""
+
+from repro.xmlpub.tagger import (
+    ConstantSpaceTagger,
+    KeyItem,
+    RowsBranch,
+    ScalarBranch,
+    TaggerSpec,
+    escape_text,
+)
+from repro.xmlpub.translate import TranslatedQuery, Translator, translate_xquery
+from repro.xmlpub.view import (
+    XmlChildEdge,
+    XmlField,
+    XmlView,
+    XmlViewNode,
+    tpch_supplier_view,
+)
+from repro.xmlpub.xquery import (
+    XqAggregate,
+    XqArith,
+    XqComparison,
+    XqElement,
+    XqFlwr,
+    XqLiteral,
+    XqPath,
+    XqSome,
+    parse_xquery,
+)
+
+__all__ = [
+    "ConstantSpaceTagger",
+    "KeyItem",
+    "RowsBranch",
+    "ScalarBranch",
+    "TaggerSpec",
+    "TranslatedQuery",
+    "Translator",
+    "XmlChildEdge",
+    "XmlField",
+    "XmlView",
+    "XmlViewNode",
+    "XqAggregate",
+    "XqArith",
+    "XqComparison",
+    "XqElement",
+    "XqFlwr",
+    "XqLiteral",
+    "XqPath",
+    "XqSome",
+    "escape_text",
+    "parse_xquery",
+    "tpch_supplier_view",
+    "translate_xquery",
+]

@@ -1,0 +1,190 @@
+"""The constant-space tagger.
+
+Consumes the row stream of a *sorted outer union* (or of a GApply plan,
+whose output is clustered per group by construction) and emits XML text.
+Memory is O(document depth): the tagger keeps only the current group key,
+the currently open container tag, and the output buffer the caller drains —
+exactly the middleware component the paper assumes ("the result tuples must
+be clustered by the element to which they correspond", Section 2).
+
+Row layout (produced by :mod:`repro.xmlpub.translate`):
+
+    [key column(s) ...] [branch id] [payload column(s) ...]
+
+Rows must arrive clustered by key; within a group, clustered by branch in
+ascending order (the translator assigns branch ids in return-item order and
+adds the matching ORDER BY / union order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import XmlPublishError
+from repro.storage.table import Row
+from repro.storage.types import format_value, grouping_key
+
+
+def escape_text(value: object) -> str:
+    """XML-escape a SQL value for text content."""
+    text = format_value(value)
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass(frozen=True)
+class KeyItem:
+    """A group-level field rendered from a key column (``$s/s_suppkey``)."""
+
+    tag: str
+    key_index: int
+
+
+@dataclass(frozen=True)
+class ScalarBranch:
+    """A branch carrying one value per group (an aggregate item)."""
+
+    branch: int
+    tag: str
+    payload_index: int
+
+
+@dataclass(frozen=True)
+class RowsBranch:
+    """A branch carrying repeated elements (a nested FLWR item).
+
+    ``container_tag`` (optional) wraps all rows of the branch within the
+    group (``<parts> <part>..</part> ... </parts>``).
+    """
+
+    branch: int
+    container_tag: str | None
+    row_tag: str
+    fields: tuple[tuple[str, int], ...]  # (tag, payload index)
+
+
+Branch = ScalarBranch | RowsBranch
+
+
+@dataclass(frozen=True)
+class TaggerSpec:
+    """Everything the tagger needs to interpret the row stream."""
+
+    root_tag: str
+    group_tag: str
+    key_count: int
+    key_items: tuple[KeyItem, ...]
+    branches: tuple[Branch, ...]
+
+    def __post_init__(self) -> None:
+        ids = [b.branch for b in self.branches]
+        if len(set(ids)) != len(ids):
+            raise XmlPublishError(f"duplicate branch ids: {ids}")
+
+    @property
+    def branch_column(self) -> int:
+        return self.key_count
+
+    def branch_by_id(self, branch_id: int) -> Branch:
+        for branch in self.branches:
+            if branch.branch == branch_id:
+                return branch
+        raise XmlPublishError(f"row carries unknown branch id {branch_id!r}")
+
+
+class ConstantSpaceTagger:
+    """Streaming tagger; O(depth) state, rows in, XML text chunks out."""
+
+    def __init__(self, spec: TaggerSpec, indent: bool = False):
+        self.spec = spec
+        self.indent = indent
+
+    # ------------------------------------------------------------------
+
+    def tag(self, rows: Iterable[Row]) -> Iterator[str]:
+        """Yield XML text chunks for a clustered row stream."""
+        spec = self.spec
+        yield f"<{spec.root_tag}>"
+        current_key: tuple | None = None
+        open_container: str | None = None
+
+        def close_group() -> Iterator[str]:
+            nonlocal open_container
+            if open_container is not None:
+                yield f"</{open_container}>"
+                open_container = None
+            yield f"</{spec.group_tag}>"
+
+        for row in rows:
+            key_values = row[: spec.key_count]
+            key = grouping_key(key_values)
+            if key != current_key:
+                if current_key is not None:
+                    yield from close_group()
+                current_key = key
+                yield f"<{spec.group_tag}>"
+                for item in spec.key_items:
+                    value = escape_text(key_values[item.key_index])
+                    yield f"<{item.tag}>{value}</{item.tag}>"
+            branch = spec.branch_by_id(row[spec.branch_column])
+            if isinstance(branch, ScalarBranch):
+                if open_container is not None:
+                    yield f"</{open_container}>"
+                    open_container = None
+                value = escape_text(row[spec.branch_column + 1 + branch.payload_index])
+                yield f"<{branch.tag}>{value}</{branch.tag}>"
+                continue
+            if branch.container_tag != open_container:
+                if open_container is not None:
+                    yield f"</{open_container}>"
+                open_container = branch.container_tag
+                if open_container is not None:
+                    yield f"<{open_container}>"
+            chunks = [f"<{branch.row_tag}>"]
+            for tag, payload_index in branch.fields:
+                value = escape_text(row[spec.branch_column + 1 + payload_index])
+                chunks.append(f"<{tag}>{value}</{tag}>")
+            chunks.append(f"</{branch.row_tag}>")
+            yield "".join(chunks)
+        if current_key is not None:
+            yield from close_group()
+        yield f"</{spec.root_tag}>"
+
+    def tag_to_string(self, rows: Iterable[Row]) -> str:
+        """Materialize the whole document (tests and small examples)."""
+        if not self.indent:
+            return "".join(self.tag(rows))
+        return self._pretty("".join(self.tag(rows)))
+
+    @staticmethod
+    def _pretty(document: str) -> str:
+        """Cheap re-indenting for human consumption in examples."""
+        out: list[str] = []
+        depth = 0
+        index = 0
+        while index < len(document):
+            close = document.find(">", index)
+            if close == -1:
+                break
+            chunk = document[index : close + 1]
+            text_start = close + 1
+            next_open = document.find("<", text_start)
+            text = document[text_start : next_open if next_open != -1 else None]
+            if chunk.startswith("</"):
+                depth -= 1
+                out.append("  " * depth + chunk)
+            elif text.strip() or (
+                next_open != -1 and document.startswith("</", next_open)
+            ):
+                # leaf element: render <tag>text</tag> inline
+                end = document.find(">", next_open)
+                out.append("  " * depth + chunk + text + document[next_open : end + 1])
+                index = end + 1
+                continue
+            else:
+                out.append("  " * depth + chunk)
+                depth += 1
+            index = close + 1
+        return "\n".join(out)

@@ -1,0 +1,441 @@
+"""An XQuery FLWR subset: AST + parser.
+
+Covers the query class the paper works with (Sections 2 and 4.2): a FOR
+clause binding a variable to the elements of an XML-view path, an optional
+WHERE with existential (``some ... satisfies``) or aggregate conditions over
+the element's subtree, and a RETURN constructing an element from
+
+* parent fields (``$s/s_suppkey``),
+* nested FLWR expressions over child elements (``for $p in $s/part ...``),
+* aggregates over child paths with optional predicates
+  (``avg($s/part/p_retailprice)``,
+  ``count($s/part[p_retailprice >= avg($s/part/p_retailprice)])``), and
+* the whole bound subtree (``$s``) for group-selection queries.
+
+Example (the paper's Q1)::
+
+    for $s in /doc(tpch.xml)/suppliers/supplier
+    return <ret>
+        $s/s_suppkey,
+        <parts>
+            for $p in $s/part
+            return <part> $p/p_name, $p/p_retailprice </part>
+        </parts>,
+        avg($s/part/p_retailprice)
+    </ret>
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import XmlPublishError
+
+AGGREGATES = ("count", "sum", "avg", "min", "max")
+COMPARISONS = (">=", "<=", "!=", "=", "<", ">")
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+class XqNode:
+    """Marker base class."""
+
+
+@dataclass(frozen=True)
+class XqPath(XqNode):
+    """``$var/step1[predicate]/step2``; bare ``$var`` has no steps.
+
+    At most one step may carry a predicate (XPath-style filter), recorded
+    with the index of the step it applies to.
+    """
+
+    variable: str
+    steps: tuple[str, ...] = ()
+    predicate: "XqComparison | None" = None
+    predicate_step: int = -1
+
+    def __str__(self) -> str:
+        return "$" + "/".join((self.variable, *self.steps))
+
+
+@dataclass(frozen=True)
+class XqLiteral(XqNode):
+    value: Any
+
+
+@dataclass(frozen=True)
+class XqAggregate(XqNode):
+    """``agg(path)``, e.g. ``avg($s/part/p_retailprice)`` or
+    ``count($s/part[p_retailprice >= avg($s/part/p_retailprice)])``.
+
+    A predicate on the path travels inside :class:`XqPath`.
+    """
+
+    function: str
+    path: XqPath
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATES:
+            raise XmlPublishError(f"unknown aggregate {self.function!r}")
+
+    @property
+    def predicate(self) -> "XqComparison | None":
+        return self.path.predicate
+
+
+@dataclass(frozen=True)
+class XqArith(XqNode):
+    """Binary arithmetic inside predicates (e.g. ``0.9 * max(...)``)."""
+
+    op: str
+    left: XqNode
+    right: XqNode
+
+
+@dataclass(frozen=True)
+class XqComparison(XqNode):
+    op: str
+    left: XqNode
+    right: XqNode
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISONS:
+            raise XmlPublishError(f"unknown comparison {self.op!r}")
+
+
+@dataclass(frozen=True)
+class XqSome(XqNode):
+    """``some $p in $s/child satisfies <comparison>``."""
+
+    variable: str
+    path: XqPath
+    satisfies: XqComparison
+
+
+@dataclass(frozen=True)
+class XqElement(XqNode):
+    """``<tag> item, item, ... </tag>``."""
+
+    tag: str
+    items: tuple[XqNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class XqFlwr(XqNode):
+    """``for $v in <path> [where <cond>] return <body>``."""
+
+    variable: str
+    path: XqPath | str  # str for the document-rooted outer path
+    where: XqNode | None
+    body: XqNode
+
+    @property
+    def document_steps(self) -> tuple[str, ...]:
+        """Steps of a document-rooted path like
+        ``/doc(tpch.xml)/suppliers/supplier``."""
+        if not isinstance(self.path, str):
+            raise XmlPublishError("inner FLWR paths are variable-rooted")
+        steps = [s for s in self.path.split("/") if s]
+        if steps and steps[0].startswith("doc("):
+            steps = steps[1:]
+        return tuple(steps)
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<close><\s*/\s*(?P<close_tag>[A-Za-z_][\w.-]*)\s*>)
+  | (?P<open><(?P<open_tag>[A-Za-z_][\w.-]*)>)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<var>\$[A-Za-z_]\w*)
+  | (?P<word>[A-Za-z_][\w.-]*)
+  | (?P<op>>=|<=|!=|=|<|>|\[|\]|\(|\)|,|/|\*|\+|-)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise XmlPublishError(
+                f"cannot tokenize XQuery at: {text[position:position + 20]!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        if kind == "close":
+            tokens.append(_Token("close", match.group("close_tag")))
+        elif kind == "open":
+            tokens.append(_Token("open", match.group("open_tag")))
+        elif kind == "string":
+            tokens.append(_Token("string", match.group(0)[1:-1]))
+        else:
+            tokens.append(_Token(kind, match.group(0)))
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class XQueryParser:
+    """Recursive-descent parser for the FLWR subset."""
+
+    def __init__(self, text: str):
+        self.tokens = _lex(text)
+        self.position = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> _Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def _expect_word(self, word: str) -> None:
+        token = self.current
+        if token.kind != "word" or token.value.lower() != word:
+            raise XmlPublishError(
+                f"expected {word!r}, found {token.value!r}"
+            )
+        self.advance()
+
+    def _accept_word(self, word: str) -> bool:
+        token = self.current
+        if token.kind == "word" and token.value.lower() == word:
+            self.advance()
+            return True
+        return False
+
+    def parse(self) -> XqFlwr:
+        flwr = self._flwr(top_level=True)
+        if self.current.kind != "eof":
+            raise XmlPublishError(
+                f"trailing XQuery input at {self.current.value!r}"
+            )
+        return flwr
+
+    # -- FLWR ----------------------------------------------------------
+
+    def _flwr(self, top_level: bool) -> XqFlwr:
+        self._expect_word("for")
+        if self.current.kind != "var":
+            raise XmlPublishError("expected variable after 'for'")
+        variable = self.advance().value[1:]
+        self._expect_word("in")
+        path: XqPath | str
+        if top_level:
+            path = self._document_path()
+        else:
+            path = self._variable_path()
+        where = None
+        if self._accept_word("where"):
+            where = self._condition()
+        self._expect_word("return")
+        body = self._return_body()
+        return XqFlwr(variable, path, where, body)
+
+    def _document_path(self) -> str:
+        """A document-rooted path: /doc(file)/a/b (captured as raw text)."""
+        parts: list[str] = []
+        while True:
+            token = self.current
+            if token.kind == "op" and token.value in ("/", "(", ")"):
+                parts.append(self.advance().value)
+                continue
+            if token.kind == "word":
+                if token.value.lower() in ("where", "return"):
+                    break
+                parts.append(self.advance().value)
+                continue
+            break
+        if not parts:
+            raise XmlPublishError("expected document path after 'in'")
+        return "".join(parts)
+
+    def _variable_path(self) -> XqPath:
+        token = self.current
+        if token.kind != "var":
+            raise XmlPublishError(
+                f"expected $variable path, found {token.value!r}"
+            )
+        variable = self.advance().value[1:]
+        steps: list[str] = []
+        predicate: XqComparison | None = None
+        predicate_step = -1
+        while self.current.kind == "op" and self.current.value == "/":
+            self.advance()
+            step = self.current
+            if step.kind != "word":
+                raise XmlPublishError("expected path step after '/'")
+            steps.append(self.advance().value)
+            if self.current.kind == "op" and self.current.value == "[":
+                if predicate is not None:
+                    raise XmlPublishError(
+                        "at most one path predicate is supported"
+                    )
+                self.advance()
+                condition = self._comparison()
+                if not isinstance(condition, XqComparison):
+                    raise XmlPublishError(
+                        "path predicate must be a comparison"
+                    )
+                predicate = condition
+                predicate_step = len(steps) - 1
+                self._expect_op("]")
+        return XqPath(variable, tuple(steps), predicate, predicate_step)
+
+    # -- WHERE conditions -----------------------------------------------
+
+    def _condition(self) -> XqNode:
+        if self._accept_word("some"):
+            if self.current.kind != "var":
+                raise XmlPublishError("expected variable after 'some'")
+            variable = self.advance().value[1:]
+            self._expect_word("in")
+            path = self._variable_path()
+            self._expect_word("satisfies")
+            satisfies = self._comparison()
+            if not isinstance(satisfies, XqComparison):
+                raise XmlPublishError("'satisfies' requires a comparison")
+            return XqSome(variable, path, satisfies)
+        return self._comparison()
+
+    def _comparison(self) -> XqNode:
+        left = self._arith()
+        token = self.current
+        if token.kind == "op" and token.value in COMPARISONS:
+            op = self.advance().value
+            right = self._arith()
+            return XqComparison(op, left, right)
+        return left
+
+    def _arith(self) -> XqNode:
+        left = self._value()
+        while self.current.kind == "op" and self.current.value in ("*", "+", "-"):
+            op = self.advance().value
+            right = self._value()
+            left = XqArith(op, left, right)
+        return left
+
+    def _value(self) -> XqNode:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return XqLiteral(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return XqLiteral(token.value)
+        if token.kind == "var":
+            return self._variable_path()
+        if token.kind == "word":
+            word = token.value.lower()
+            if word in AGGREGATES:
+                return self._aggregate()
+            # bare column name inside a [...] predicate
+            self.advance()
+            return XqPath("", (token.value,))
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self._comparison()
+            self._expect_op(")")
+            return inner
+        raise XmlPublishError(f"expected value, found {token.value!r}")
+
+    def _expect_op(self, op: str) -> None:
+        token = self.current
+        if token.kind != "op" or token.value != op:
+            raise XmlPublishError(f"expected {op!r}, found {token.value!r}")
+        self.advance()
+
+    def _aggregate(self) -> XqAggregate:
+        function = self.advance().value.lower()
+        self._expect_op("(")
+        path = self._variable_path()
+        self._expect_op(")")
+        return XqAggregate(function, path)
+
+    # -- RETURN bodies ---------------------------------------------------
+
+    def _return_body(self) -> XqNode:
+        token = self.current
+        if token.kind == "open":
+            return self._element()
+        if token.kind == "var":
+            return self._variable_path()
+        if token.kind == "word" and token.value.lower() in AGGREGATES:
+            return self._aggregate()
+        raise XmlPublishError(
+            f"expected element constructor, path or aggregate in return, "
+            f"found {token.value!r}"
+        )
+
+    def _element(self) -> XqElement:
+        tag = self.advance().value  # consumes the open token
+        items: list[XqNode] = []
+        while True:
+            token = self.current
+            if token.kind == "close":
+                if token.value != tag:
+                    raise XmlPublishError(
+                        f"mismatched close tag: <{tag}> closed by "
+                        f"</{token.value}>"
+                    )
+                self.advance()
+                return XqElement(tag, tuple(items))
+            if token.kind == "eof":
+                raise XmlPublishError(f"unclosed element <{tag}>")
+            if token.kind == "op" and token.value == ",":
+                self.advance()
+                continue
+            items.append(self._element_item())
+
+    def _element_item(self) -> XqNode:
+        token = self.current
+        if token.kind == "open":
+            return self._element()
+        if token.kind == "var":
+            return self._variable_path()
+        if token.kind == "word":
+            word = token.value.lower()
+            if word in AGGREGATES:
+                return self._aggregate()
+            if word == "for":
+                return self._flwr(top_level=False)
+        if token.kind in ("number", "string"):
+            return self._value()
+        raise XmlPublishError(
+            f"unexpected token {token.value!r} inside element constructor"
+        )
+
+
+def parse_xquery(text: str) -> XqFlwr:
+    """Parse an XQuery FLWR expression of the supported subset."""
+    return XQueryParser(text).parse()

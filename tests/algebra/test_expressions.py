@@ -1,0 +1,333 @@
+"""Unit tests for the scalar expression language."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggregateAccumulator,
+    AggregateCall,
+    AggregateFunction,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    Parameter,
+    avg,
+    col,
+    conjoin,
+    conjuncts,
+    count,
+    count_star,
+    eq,
+    ge,
+    gt,
+    le,
+    lit,
+    lt,
+    max_,
+    min_,
+    ne,
+    sum_,
+)
+from repro.errors import ExecutionError, TypeCheckError
+from repro.execution.context import ExecutionContext
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+SCHEMA = Schema(
+    (
+        Column("a", DataType.INTEGER, "t"),
+        Column("b", DataType.FLOAT, "t"),
+        Column("s", DataType.STRING, "t"),
+    )
+)
+
+
+def run(expression, row, ctx=None):
+    return expression.compile(SCHEMA)(row, ctx)
+
+
+class TestLeaves:
+    def test_column_ref_bare_and_qualified(self):
+        assert run(col("a"), (1, 2.0, "x")) == 1
+        assert run(col("t.b"), (1, 2.0, "x")) == 2.0
+
+    def test_literal(self):
+        assert run(lit(42), (0, 0.0, "")) == 42
+        assert run(lit(None), (0, 0.0, "")) is None
+
+    def test_parameter_reads_context(self):
+        ctx = ExecutionContext(scalars={"p": 7})
+        assert run(Parameter("p"), (0, 0.0, ""), ctx) == 7
+
+    def test_unbound_parameter_raises(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            run(Parameter("p"), (0, 0.0, ""), ctx)
+
+    def test_parameter_without_context_raises(self):
+        with pytest.raises(ExecutionError):
+            run(Parameter("p"), (0, 0.0, ""), None)
+
+
+class TestComparison:
+    def test_all_operators(self):
+        row = (2, 3.0, "x")
+        assert run(eq(col("a"), lit(2)), row) is True
+        assert run(ne(col("a"), lit(2)), row) is False
+        assert run(lt(col("a"), lit(3)), row) is True
+        assert run(le(col("a"), lit(2)), row) is True
+        assert run(gt(col("b"), lit(2.5)), row) is True
+        assert run(ge(col("b"), lit(3.5)), row) is False
+
+    def test_null_yields_null(self):
+        assert run(eq(col("a"), lit(None)), (1, 0.0, "")) is None
+
+    def test_flip_and_negate(self):
+        assert ComparisonOp.LT.flip() is ComparisonOp.GT
+        assert ComparisonOp.LE.negate() is ComparisonOp.GT
+        assert ComparisonOp.EQ.flip() is ComparisonOp.EQ
+
+
+class TestBooleanLogic:
+    def test_and_short_circuits_on_false(self):
+        row = (1, 1.0, "x")
+        expr = And(eq(col("a"), lit(2)), eq(col("a"), lit(None)))
+        assert run(expr, row) is False  # FALSE AND UNKNOWN = FALSE
+
+    def test_and_unknown(self):
+        row = (1, 1.0, "x")
+        expr = And(eq(col("a"), lit(1)), eq(col("a"), lit(None)))
+        assert run(expr, row) is None
+
+    def test_or_true_dominates_unknown(self):
+        row = (1, 1.0, "x")
+        expr = Or(eq(col("a"), lit(1)), eq(col("a"), lit(None)))
+        assert run(expr, row) is True
+
+    def test_or_unknown(self):
+        row = (1, 1.0, "x")
+        expr = Or(eq(col("a"), lit(2)), eq(col("a"), lit(None)))
+        assert run(expr, row) is None
+
+    def test_not(self):
+        row = (1, 1.0, "x")
+        assert run(Not(eq(col("a"), lit(1))), row) is False
+        assert run(Not(eq(col("a"), lit(None))), row) is None
+
+    def test_nary_flattening(self):
+        expr = And([eq(col("a"), lit(1)), eq(col("a"), lit(1))])
+        assert len(expr.operands) == 2
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert run(IsNull(col("a")), (None, 0.0, "")) is True
+        assert run(IsNull(col("a")), (1, 0.0, "")) is False
+
+    def test_is_not_null(self):
+        assert run(IsNull(col("a"), negated=True), (None, 0.0, "")) is False
+
+
+class TestArithmetic:
+    def test_operations(self):
+        row = (7, 2.0, "")
+        assert run(Arithmetic(ArithmeticOp.ADD, col("a"), lit(1)), row) == 8
+        assert run(Arithmetic(ArithmeticOp.SUB, col("a"), lit(1)), row) == 6
+        assert run(Arithmetic(ArithmeticOp.MUL, col("a"), col("b")), row) == 14.0
+        assert run(Arithmetic(ArithmeticOp.MOD, col("a"), lit(4)), row) == 3
+
+    def test_integer_division_truncates_toward_zero(self):
+        row = (7, 2.0, "")
+        assert run(Arithmetic(ArithmeticOp.DIV, col("a"), lit(2)), row) == 3
+        assert run(Arithmetic(ArithmeticOp.DIV, lit(-7), lit(2)), row) == -3
+
+    def test_float_division(self):
+        assert run(Arithmetic(ArithmeticOp.DIV, lit(7.0), lit(2)), ()) == 3.5
+
+    def test_null_propagates(self):
+        assert run(Arithmetic(ArithmeticOp.ADD, lit(None), lit(1)), ()) is None
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            run(Arithmetic(ArithmeticOp.DIV, lit(1), lit(0)), ())
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeCheckError):
+            run(Arithmetic(ArithmeticOp.ADD, lit("x"), lit(1)), ())
+
+    def test_negate(self):
+        assert run(Negate(col("a")), (5, 0.0, "")) == -5
+        assert run(Negate(lit(None)), ()) is None
+
+
+class TestInList:
+    def test_membership(self):
+        row = (2, 0.0, "")
+        assert run(InList(col("a"), (lit(1), lit(2))), row) is True
+        assert run(InList(col("a"), (lit(3),)), row) is False
+
+    def test_not_in(self):
+        row = (2, 0.0, "")
+        assert run(InList(col("a"), (lit(3),), negated=True), row) is True
+
+    def test_null_operand(self):
+        assert run(InList(lit(None), (lit(1),)), ()) is None
+
+    def test_null_in_list_makes_miss_unknown(self):
+        row = (2, 0.0, "")
+        assert run(InList(col("a"), (lit(3), lit(None))), row) is None
+        # ... but a hit is still TRUE
+        assert run(InList(col("a"), (lit(2), lit(None))), row) is True
+
+
+class TestCaseWhen:
+    def test_first_match_wins(self):
+        expr = CaseWhen(
+            (
+                (gt(col("a"), lit(10)), lit("big")),
+                (gt(col("a"), lit(0)), lit("small")),
+            ),
+            lit("neg"),
+        )
+        assert run(expr, (20, 0.0, "")) == "big"
+        assert run(expr, (5, 0.0, "")) == "small"
+        assert run(expr, (-1, 0.0, "")) == "neg"
+
+    def test_unknown_condition_skipped(self):
+        expr = CaseWhen(((eq(col("a"), lit(None)), lit("x")),), lit("dflt"))
+        assert run(expr, (1, 0.0, "")) == "dflt"
+
+
+class TestFunctions:
+    def test_concat_and_upper(self):
+        expr = FunctionCall("concat", (col("s"), lit("!")))
+        assert run(expr, (0, 0.0, "hi")) == "hi!"
+        assert run(FunctionCall("upper", (col("s"),)), (0, 0.0, "hi")) == "HI"
+
+    def test_null_propagation(self):
+        assert run(FunctionCall("concat", (lit(None), lit("x"))), ()) is None
+
+    def test_substring_is_one_based(self):
+        expr = FunctionCall("substring", (lit("hello"), lit(2), lit(3)))
+        assert run(expr, ()) == "ell"
+
+    def test_coalesce(self):
+        expr = FunctionCall("coalesce", (lit(None), lit(None), lit(5)))
+        assert run(expr, ()) == 5
+
+    def test_bitxor(self):
+        assert run(FunctionCall("bitxor", (lit(5), lit(3))), ()) == 6
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(TypeCheckError):
+            FunctionCall("frobnicate", ())
+
+
+class TestStructuralUtilities:
+    def test_columns_collects_references(self):
+        expr = And(eq(col("a"), lit(1)), gt(col("t.b"), col("a")))
+        assert expr.columns() == frozenset({"a", "t.b"})
+
+    def test_parameters_collects(self):
+        expr = eq(col("a"), Parameter("p"))
+        assert expr.parameters() == frozenset({"p"})
+
+    def test_substitute(self):
+        expr = eq(col("a"), lit(1)).substitute({"a": col("z")})
+        assert expr == eq(col("z"), lit(1))
+
+    def test_equality_is_structural(self):
+        assert eq(col("a"), lit(1)) == eq(col("a"), lit(1))
+        assert eq(col("a"), lit(1)) != eq(col("a"), lit(2))
+
+    def test_conjuncts_and_conjoin(self):
+        expr = And(eq(col("a"), lit(1)), And(gt(col("b"), lit(0)), lt(col("b"), lit(9))))
+        parts = conjuncts(expr)
+        assert len(parts) == 3
+        rebuilt = conjoin(parts)
+        assert set(conjuncts(rebuilt)) == set(parts)
+
+    def test_conjoin_dedupes(self):
+        p = eq(col("a"), lit(1))
+        assert conjoin([p, p]) == p
+
+    def test_conjoin_empty_is_none(self):
+        assert conjoin([]) is None
+        assert conjoin([None, None]) is None
+
+    def test_str_forms(self):
+        assert str(eq(col("a"), lit(1))) == "(a = 1)"
+        assert str(lit("it's")) == "'it''s'"
+
+
+class TestAggregates:
+    def test_count_star(self):
+        acc = AggregateAccumulator(count_star())
+        for _ in range(3):
+            acc.add(None)
+        assert acc.result() == 3
+
+    def test_count_skips_nulls(self):
+        acc = AggregateAccumulator(count(col("a")))
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_sum_avg(self):
+        acc = AggregateAccumulator(sum_(col("a")))
+        for value in (1, 2, 3, None):
+            acc.add(value)
+        assert acc.result() == 6
+        acc = AggregateAccumulator(avg(col("a")))
+        for value in (1, 2, 3, None):
+            acc.add(value)
+        assert acc.result() == pytest.approx(2.0)
+
+    def test_min_max(self):
+        acc_min = AggregateAccumulator(min_(col("a")))
+        acc_max = AggregateAccumulator(max_(col("a")))
+        for value in (5, None, 2, 9):
+            acc_min.add(value)
+            acc_max.add(value)
+        assert acc_min.result() == 2
+        assert acc_max.result() == 9
+
+    def test_empty_results(self):
+        assert AggregateAccumulator(count(col("a"))).result() == 0
+        assert AggregateAccumulator(sum_(col("a"))).result() is None
+        assert AggregateAccumulator(avg(col("a"))).result() is None
+        assert AggregateAccumulator(min_(col("a"))).result() is None
+
+    def test_count_distinct(self):
+        acc = AggregateAccumulator(count(col("a"), distinct=True))
+        for value in (1, 1, 2, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_empty_result_constants(self):
+        assert AggregateFunction.COUNT.empty_result == 0
+        assert AggregateFunction.COUNT_STAR.empty_result == 0
+        assert AggregateFunction.SUM.empty_result is None
+
+    def test_count_star_distinct_invalid(self):
+        with pytest.raises(TypeCheckError):
+            AggregateCall(AggregateFunction.COUNT_STAR, None, distinct=True)
+
+    def test_argument_required(self):
+        with pytest.raises(TypeCheckError):
+            AggregateCall(AggregateFunction.SUM, None)
+
+    def test_output_name(self):
+        assert count_star().output_name() == "count_star"
+        assert avg(col("t.b"), "mean").output_name() == "mean"
+        assert sum_(col("x")).output_name() == "sum_x"

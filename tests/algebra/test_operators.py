@@ -1,0 +1,293 @@
+"""Unit tests for logical operators: schema derivation and tree utilities."""
+
+import pytest
+
+from repro.algebra.expressions import avg, col, count_star, eq, gt, lit
+from repro.algebra.operators import (
+    Alias,
+    Apply,
+    Distinct,
+    Exists,
+    GApply,
+    GroupBy,
+    GroupScan,
+    Join,
+    JoinKind,
+    Limit,
+    OrderBy,
+    Project,
+    Prune,
+    Remap,
+    Select,
+    TableScan,
+    Union,
+    UnionAll,
+    gapply_output_schema,
+    project_columns,
+    replace_group_scans,
+)
+from repro.errors import PlanError, SchemaError
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+PART = Schema(
+    (
+        Column("p_partkey", DataType.INTEGER),
+        Column("p_name", DataType.STRING),
+        Column("p_price", DataType.FLOAT),
+    )
+)
+SUPP = Schema(
+    (Column("s_suppkey", DataType.INTEGER), Column("s_name", DataType.STRING))
+)
+
+
+def part_scan() -> TableScan:
+    return TableScan("part", PART)
+
+
+def supp_scan() -> TableScan:
+    return TableScan("supplier", SUPP)
+
+
+class TestScans:
+    def test_table_scan_qualifies(self):
+        assert part_scan().schema.qualified_names() == [
+            "part.p_partkey",
+            "part.p_name",
+            "part.p_price",
+        ]
+
+    def test_alias_requalifies(self):
+        scan = TableScan("part", PART, alias="p")
+        assert scan.schema.qualified_names()[0] == "p.p_partkey"
+        assert scan.binding_name == "p"
+
+    def test_group_scan_schema(self):
+        scan = GroupScan("g", PART)
+        assert scan.schema is scan.group_schema
+
+
+class TestUnaryOperators:
+    def test_select_preserves_schema(self):
+        node = Select(part_scan(), gt(col("p_price"), lit(1.0)))
+        assert node.schema == part_scan().schema
+
+    def test_select_validates_references(self):
+        node = Select(part_scan(), gt(col("nonexistent"), lit(1.0)))
+        with pytest.raises(Exception):
+            node.schema
+
+    def test_project_names_and_types(self):
+        node = Project(part_scan(), ((col("p_name"), "name"), (lit(1), "one")))
+        assert node.schema.names() == ["name", "one"]
+        assert node.schema[1].dtype is DataType.INTEGER
+
+    def test_prune_preserves_qualifiers(self):
+        node = Prune(part_scan(), ("part.p_price", "part.p_name"))
+        assert node.schema.qualified_names() == ["part.p_price", "part.p_name"]
+
+    def test_project_columns_helper(self):
+        node = project_columns(part_scan(), ["p_name"])
+        assert node.schema.names() == ["p_name"]
+        assert node.schema[0].qualifier is None
+
+    def test_alias_operator(self):
+        node = Alias(part_scan(), "x")
+        assert node.schema.qualified_names()[0] == "x.p_partkey"
+
+    def test_remap(self):
+        node = Remap(
+            part_scan(),
+            (("part.p_name", Column("title", qualifier="out")),),
+        )
+        assert node.schema.qualified_names() == ["out.title"]
+        assert node.schema[0].dtype is DataType.STRING
+
+    def test_distinct_orderby_limit_preserve_schema(self):
+        scan = part_scan()
+        assert Distinct(scan).schema == scan.schema
+        assert OrderBy(scan, (("p_name", True),)).schema == scan.schema
+        assert Limit(scan, 5).schema == scan.schema
+
+    def test_orderby_validates(self):
+        with pytest.raises(Exception):
+            OrderBy(part_scan(), (("zzz", True),)).schema
+
+
+class TestJoin:
+    def test_inner_join_schema_concat(self):
+        node = Join(part_scan(), supp_scan(), None, JoinKind.CROSS)
+        assert len(node.schema) == 5
+
+    def test_semi_join_schema_is_left(self):
+        node = Join(
+            part_scan(),
+            supp_scan(),
+            eq(col("p_partkey"), col("s_suppkey")),
+            JoinKind.SEMI,
+        )
+        assert node.schema == part_scan().schema
+
+    def test_equijoin_pairs(self):
+        node = Join(
+            part_scan(), supp_scan(), eq(col("p_partkey"), col("s_suppkey"))
+        )
+        assert node.equijoin_pairs() == [("p_partkey", "s_suppkey")]
+
+    def test_equijoin_pairs_reversed_sides(self):
+        node = Join(
+            part_scan(), supp_scan(), eq(col("s_suppkey"), col("p_partkey"))
+        )
+        assert node.equijoin_pairs() == [("p_partkey", "s_suppkey")]
+
+    def test_non_equi_predicate_has_no_pairs(self):
+        node = Join(part_scan(), supp_scan(), gt(col("p_partkey"), col("s_suppkey")))
+        assert node.equijoin_pairs() == []
+
+
+class TestGroupBy:
+    def test_keys_and_aggregates(self):
+        node = GroupBy(part_scan(), ("p_name",), (avg(col("p_price"), "m"),))
+        assert node.schema.names() == ["p_name", "m"]
+        assert node.schema[1].dtype is DataType.FLOAT
+
+    def test_scalar_aggregate(self):
+        node = GroupBy(part_scan(), (), (count_star("n"),))
+        assert node.is_scalar_aggregate
+        assert node.schema.names() == ["n"]
+
+
+class TestUnions:
+    def test_union_all_schema(self):
+        a = project_columns(part_scan(), ["p_name"])
+        node = UnionAll((a, a))
+        assert node.schema.names() == ["p_name"]
+
+    def test_width_mismatch_rejected(self):
+        a = project_columns(part_scan(), ["p_name"])
+        b = project_columns(part_scan(), ["p_name", "p_price"])
+        with pytest.raises(SchemaError):
+            UnionAll((a, b)).schema
+
+    def test_union_type_widening(self):
+        a = Project(part_scan(), ((col("p_partkey"), "x"),))
+        b = Project(part_scan(), ((col("p_price"), "x"),))
+        assert Union((a, b)).schema[0].dtype is DataType.FLOAT
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(PlanError):
+            UnionAll(()).schema
+
+
+class TestApplyExists:
+    def test_exists_null_schema(self):
+        assert len(Exists(part_scan()).schema) == 0
+
+    def test_apply_with_exists_inner_keeps_outer_schema(self):
+        node = Apply(part_scan(), Exists(supp_scan()))
+        assert node.schema == part_scan().schema
+
+    def test_apply_appends_inner_columns(self):
+        inner = Project(supp_scan(), ((col("s_name"), "sq_name"),))
+        node = Apply(part_scan(), inner)
+        assert node.schema.names()[-1] == "sq_name"
+
+    def test_apply_validates_bindings(self):
+        node = Apply(part_scan(), Exists(supp_scan()), (("p", "no_such"),))
+        with pytest.raises(Exception):
+            node.schema
+
+
+class TestGApply:
+    def make(self, pgq=None):
+        outer = part_scan()
+        if pgq is None:
+            pgq = GroupBy(GroupScan("g", outer.schema), (), (count_star("n"),))
+        return GApply(outer, ("p_partkey",), pgq, "g")
+
+    def test_output_schema(self):
+        node = self.make()
+        assert node.schema.qualified_names() == ["part.p_partkey", "n"]
+
+    def test_group_scan_schema_mismatch_rejected(self):
+        outer = part_scan()
+        pgq = GroupBy(GroupScan("g", SUPP), (), (count_star("n"),))
+        with pytest.raises(PlanError):
+            GApply(outer, ("p_partkey",), pgq, "g").schema
+
+    def test_wrong_variable_rejected(self):
+        outer = part_scan()
+        pgq = GroupBy(GroupScan("other", outer.schema), (), (count_star("n"),))
+        with pytest.raises(PlanError):
+            GApply(outer, ("p_partkey",), pgq, "g").schema
+
+    def test_whole_group_passthrough_requalifies_keys(self):
+        outer = part_scan()
+        pgq = GroupScan("g", outer.schema)
+        node = GApply(outer, ("p_partkey",), pgq, "g")
+        # key copy collides with the passthrough column -> g-qualified
+        assert node.schema.qualified_names()[0] == "g.p_partkey"
+
+    def test_gapply_output_schema_helper(self):
+        schema = gapply_output_schema(
+            PART, ("p_partkey",), Schema((Column("n", DataType.INTEGER),)), "g"
+        )
+        assert schema.names() == ["p_partkey", "n"]
+
+    def test_group_scans_listed(self):
+        node = self.make()
+        assert len(node.group_scans()) == 1
+
+    def test_replace_group_scans(self):
+        node = self.make()
+        new_schema = Schema((Column("p_partkey", DataType.INTEGER),))
+        rewritten = replace_group_scans(node.per_group, new_schema)
+        scans = [n for n in rewritten.walk() if isinstance(n, GroupScan)]
+        assert all(s.group_schema == new_schema for s in scans)
+
+
+class TestTreeUtilities:
+    def test_walk_preorder(self):
+        node = Select(part_scan(), gt(col("p_price"), lit(0.0)))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Select", "TableScan"]
+
+    def test_contains(self):
+        node = Distinct(Select(part_scan(), gt(col("p_price"), lit(0.0))))
+        assert node.contains(TableScan)
+        assert not node.contains(Join)
+
+    def test_with_children_same_arity(self):
+        node = Select(part_scan(), gt(col("p_price"), lit(0.0)))
+        rebuilt = node.with_children((supp_scan(),))
+        assert isinstance(rebuilt.child, TableScan)
+        assert rebuilt.child.table_name == "supplier"
+
+    def test_transform_up(self):
+        node = Select(part_scan(), gt(col("p_price"), lit(0.0)))
+
+        def drop_select(n):
+            return n.child if isinstance(n, Select) else n
+
+        assert isinstance(node.transform_up(drop_select), TableScan)
+
+    def test_pretty_is_indented(self):
+        node = Select(part_scan(), gt(col("p_price"), lit(0.0)))
+        lines = node.pretty().splitlines()
+        assert lines[0].startswith("Select")
+        assert lines[1].startswith("  TableScan")
+
+    def test_node_count(self):
+        node = Join(part_scan(), supp_scan(), None, JoinKind.CROSS)
+        assert node.node_count() == 3
+
+    def test_structural_equality(self):
+        assert part_scan() == part_scan()
+        assert self_make_equal()
+
+
+def self_make_equal() -> bool:
+    a = Select(TableScan("part", PART), gt(col("p_price"), lit(0.0)))
+    b = Select(TableScan("part", PART), gt(col("p_price"), lit(0.0)))
+    return a == b and hash(a) == hash(b)

@@ -1,0 +1,115 @@
+"""Unit tests for correlated Apply and Exists."""
+
+from repro.algebra.expressions import Parameter, avg, col, count_star, eq, gt
+from repro.execution.aggregates import PHashAggregate
+from repro.execution.apply import PApply, PExists
+from repro.execution.base import PMaterialized, run_plan
+from repro.execution.basic import PFilter, PProject
+from repro.execution.context import ExecutionContext
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+OUTER = Schema((Column("ok", DataType.INTEGER), Column("ov", DataType.FLOAT)))
+INNER = Schema((Column("ik", DataType.INTEGER), Column("iv", DataType.FLOAT)))
+
+OUTER_ROWS = [(1, 10.0), (2, 20.0), (3, 30.0)]
+INNER_ROWS = [(1, 100.0), (1, 200.0), (2, 300.0)]
+
+
+def outer():
+    return PMaterialized(OUTER, OUTER_ROWS)
+
+
+def inner():
+    return PMaterialized(INNER, INNER_ROWS)
+
+
+class TestExists:
+    def test_nonempty_yields_one_empty_tuple(self):
+        assert run_plan(PExists(inner())) == [()]
+
+    def test_empty_yields_nothing(self):
+        assert run_plan(PExists(PMaterialized(INNER, []))) == []
+
+    def test_negated(self):
+        assert run_plan(PExists(PMaterialized(INNER, []), negated=True)) == [()]
+        assert run_plan(PExists(inner(), negated=True)) == []
+
+    def test_short_circuits(self):
+        ctx = ExecutionContext()
+        run_plan(PExists(inner()), ctx)
+        assert ctx.counters.rows <= 2  # one inner row pulled + the phi tuple
+
+
+class TestCorrelatedApply:
+    def correlated_count(self):
+        filtered = PFilter(inner(), eq(col("ik"), Parameter("k")))
+        agg = PHashAggregate(filtered, (), (count_star("n"),))
+        return PApply(outer(), agg, (("k", "ok"),))
+
+    def test_per_row_execution(self):
+        rows = run_plan(self.correlated_count())
+        assert rows == [(1, 10.0, 2), (2, 20.0, 1), (3, 30.0, 0)]
+
+    def test_inner_executions_counted(self):
+        ctx = ExecutionContext()
+        run_plan(self.correlated_count(), ctx)
+        assert ctx.counters.inner_executions == 3
+
+    def test_exists_inner_keeps_outer_rows(self):
+        filtered = PFilter(inner(), eq(col("ik"), Parameter("k")))
+        plan = PApply(outer(), PExists(filtered), (("k", "ok"),))
+        assert run_plan(plan) == [(1, 10.0), (2, 20.0)]
+
+    def test_not_exists(self):
+        filtered = PFilter(inner(), eq(col("ik"), Parameter("k")))
+        plan = PApply(outer(), PExists(filtered, negated=True), (("k", "ok"),))
+        assert run_plan(plan) == [(3, 30.0)]
+
+    def test_nested_parameter_shadowing(self):
+        # inner apply rebinds the same parameter name; innermost wins
+        deep_filter = PFilter(inner(), eq(col("ik"), Parameter("k")))
+        deep_agg = PHashAggregate(deep_filter, (), (count_star("deep_n"),))
+        mid = PApply(inner(), deep_agg, (("k", "ik"),))
+        mid_projected = PProject(mid, ((col("deep_n"), "n2"),))
+        plan = PApply(outer(), mid_projected, ())
+        rows = run_plan(plan)
+        # mid produces counts [2, 2, 1] (two ik=1 rows, one ik=2 row) and is
+        # crossed with each of the 3 outer rows
+        counts = sorted(row[2] for row in rows)
+        assert counts == [1, 1, 1, 2, 2, 2, 2, 2, 2]
+
+
+class TestUncorrelatedApplyCaching:
+    def test_inner_evaluated_once(self):
+        agg = PHashAggregate(inner(), (), (avg(col("iv"), "m"),))
+        plan = PApply(outer(), agg, ())
+        ctx = ExecutionContext()
+        rows = run_plan(plan, ctx)
+        assert ctx.counters.inner_executions == 1
+        assert all(row[2] == 200.0 for row in rows)
+
+    def test_cached_results_correct_for_multi_row_inner(self):
+        plan = PApply(outer(), inner(), ())
+        rows = run_plan(plan)
+        assert len(rows) == len(OUTER_ROWS) * len(INNER_ROWS)
+
+    def test_empty_outer_never_runs_inner(self):
+        agg = PHashAggregate(inner(), (), (avg(col("iv"), "m"),))
+        plan = PApply(PMaterialized(OUTER, []), agg, ())
+        ctx = ExecutionContext()
+        assert run_plan(plan, ctx) == []
+        assert ctx.counters.inner_executions == 0
+
+    def test_ancestor_parameters_still_visible(self):
+        # the cached inner may read parameters bound by an ancestor apply
+        filtered = PFilter(inner(), gt(col("iv"), Parameter("threshold")))
+        agg = PHashAggregate(filtered, (), (count_star("n"),))
+        uncorrelated = PApply(inner(), agg, ())  # no own bindings
+        plan = PApply(outer(), PProject(uncorrelated, ((col("n"), "n2"),)), (("threshold", "ov"),))
+        rows = run_plan(plan)
+        by_outer = {}
+        for row in rows:
+            by_outer.setdefault(row[0], set()).add(row[2])
+        # threshold 10 -> all 3 inner rows pass; 20 -> 3; 30 -> 3 (iv >= 100)
+        assert by_outer[1] == {3}

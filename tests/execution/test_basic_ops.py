@@ -1,0 +1,130 @@
+"""Unit tests for row-at-a-time physical operators."""
+
+import pytest
+
+from repro.algebra.expressions import col, eq, gt, lit
+from repro.execution.base import PMaterialized, run_plan, run_plan_to_table
+from repro.execution.basic import (
+    PAlias,
+    PDistinct,
+    PFilter,
+    PLimit,
+    PProject,
+    PPrune,
+    PRemap,
+    PSort,
+    PUnionAll,
+)
+from repro.execution.context import ExecutionContext
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+SCHEMA = Schema(
+    (
+        Column("k", DataType.INTEGER, "t"),
+        Column("v", DataType.STRING, "t"),
+        Column("x", DataType.FLOAT, "t"),
+    )
+)
+ROWS = [(1, "a", 1.0), (2, "b", 2.0), (2, "b", 2.0), (3, None, None)]
+
+
+def source() -> PMaterialized:
+    return PMaterialized(SCHEMA, ROWS)
+
+
+class TestFilter:
+    def test_keeps_true_rows(self):
+        plan = PFilter(source(), gt(col("k"), lit(1)))
+        assert len(run_plan(plan)) == 3
+
+    def test_unknown_rows_dropped(self):
+        plan = PFilter(source(), gt(col("x"), lit(0.0)))
+        # the NULL x row evaluates UNKNOWN and is dropped
+        assert len(run_plan(plan)) == 3
+
+    def test_counters(self):
+        ctx = ExecutionContext()
+        run_plan(PFilter(source(), gt(col("k"), lit(2))), ctx)
+        assert ctx.counters.comparisons == 4
+
+
+class TestProjectPrune:
+    def test_project_expressions(self):
+        plan = PProject(source(), ((col("k"), "k2"), (lit("c"), "const")))
+        assert run_plan(plan)[0] == (1, "c")
+        assert plan.schema.names() == ["k2", "const"]
+
+    def test_prune_positions_and_qualifiers(self):
+        plan = PPrune(source(), ("t.x", "t.k"))
+        assert run_plan(plan)[0] == (1.0, 1)
+        assert plan.schema.qualified_names() == ["t.x", "t.k"]
+
+    def test_prune_single_column(self):
+        plan = PPrune(source(), ("v",))
+        assert run_plan(plan)[0] == ("a",)
+
+    def test_remap(self):
+        plan = PRemap(source(), (("t.v", Column("label", qualifier="out")),))
+        assert plan.schema.qualified_names() == ["out.label"]
+        assert run_plan(plan)[1] == ("b",)
+
+    def test_alias(self):
+        plan = PAlias(source(), "z")
+        assert plan.schema.qualified_names()[0] == "z.k"
+        assert run_plan(plan) == ROWS
+
+
+class TestDistinct:
+    def test_removes_duplicates(self):
+        assert len(run_plan(PDistinct(source()))) == 3
+
+    def test_null_rows_kept_once(self):
+        plan = PDistinct(PMaterialized(SCHEMA, [(None, None, None)] * 3))
+        assert len(run_plan(plan)) == 1
+
+
+class TestSort:
+    def test_ascending_nulls_first(self):
+        plan = PSort(source(), (("v", True),))
+        values = [row[1] for row in run_plan(plan)]
+        assert values == [None, "a", "b", "b"]
+
+    def test_descending(self):
+        plan = PSort(source(), (("k", False),))
+        assert [row[0] for row in run_plan(plan)] == [3, 2, 2, 1]
+
+    def test_multi_key_stable(self):
+        rows = [(1, "b", 0.0), (1, "a", 1.0), (0, "z", 2.0)]
+        plan = PSort(PMaterialized(SCHEMA, rows), (("k", True), ("v", True)))
+        assert run_plan(plan) == [(0, "z", 2.0), (1, "a", 1.0), (1, "b", 0.0)]
+
+
+class TestUnionLimit:
+    def test_union_all_concatenates(self):
+        plan = PUnionAll([source(), source()])
+        assert len(run_plan(plan)) == 8
+
+    def test_union_all_requires_input(self):
+        with pytest.raises(ValueError):
+            PUnionAll([])
+
+    def test_limit(self):
+        assert len(run_plan(PLimit(source(), 2))) == 2
+        assert len(run_plan(PLimit(source(), 0))) == 0
+        assert len(run_plan(PLimit(source(), 99))) == 4
+
+
+class TestHelpers:
+    def test_run_plan_to_table(self):
+        table = run_plan_to_table(source(), "out")
+        assert table.name == "out"
+        assert len(table) == 4
+
+    def test_plans_are_re_executable(self):
+        plan = PFilter(source(), eq(col("k"), lit(2)))
+        assert run_plan(plan) == run_plan(plan)
+
+    def test_pretty(self):
+        text = PFilter(source(), eq(col("k"), lit(2))).pretty()
+        assert "Filter" in text and "Materialized" in text

@@ -1,0 +1,159 @@
+"""Unit tests for the physical GApply operator.
+
+The key test checks PGApply against the paper's *formal definition*:
+
+    U_{c in distinct(pi_C(R))} ({c} x PGQ(sigma_{C=c} R))
+"""
+
+import pytest
+
+from repro.algebra.expressions import avg, col, count_star, gt, lit
+from repro.errors import PlanError
+from repro.execution.aggregates import PHashAggregate
+from repro.execution.base import PMaterialized, run_plan
+from repro.execution.basic import PFilter, PProject
+from repro.execution.context import ExecutionContext
+from repro.execution.gapply import HASH_PARTITION, SORT_PARTITION, PGApply
+from repro.execution.scans import PGroupScan
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType, grouping_key
+
+SCHEMA = Schema(
+    (
+        Column("g", DataType.INTEGER, "t"),
+        Column("h", DataType.STRING, "t"),
+        Column("v", DataType.FLOAT, "t"),
+    )
+)
+ROWS = [
+    (1, "x", 10.0),
+    (1, "y", 20.0),
+    (2, "x", 5.0),
+    (2, "x", 5.0),  # duplicate row: multiset semantics
+    (None, "z", 1.0),
+]
+
+
+def source(rows=None):
+    return PMaterialized(SCHEMA, ROWS if rows is None else rows)
+
+
+def count_pgq():
+    return PHashAggregate(PGroupScan("grp", SCHEMA), (), (count_star("n"),))
+
+
+def formal_definition(rows, key_positions, pgq_fn):
+    """The paper's formal semantics, computed naively."""
+    seen = []
+    for row in rows:
+        key = tuple(row[i] for i in key_positions)
+        if grouping_key(key) not in [grouping_key(k) for k in seen]:
+            seen.append(key)
+    result = []
+    for key in seen:
+        group = [
+            row
+            for row in rows
+            if grouping_key(tuple(row[i] for i in key_positions))
+            == grouping_key(key)
+        ]
+        for out in pgq_fn(group):
+            result.append(key + out)
+    return result
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("partitioning", [HASH_PARTITION, SORT_PARTITION])
+    def test_count_per_group_matches_formal_definition(self, partitioning):
+        plan = PGApply(source(), ["g"], count_pgq(), "grp", partitioning)
+        expected = formal_definition(ROWS, [0], lambda grp: [(len(grp),)])
+        assert sorted(run_plan(plan), key=repr) == sorted(expected, key=repr)
+
+    def test_null_keys_form_one_group(self):
+        plan = PGApply(source(), ["g"], count_pgq(), "grp")
+        rows = {grouping_key((row[0],)): row[1] for row in run_plan(plan)}
+        assert rows[grouping_key((None,))] == 1
+
+    def test_multi_column_grouping(self):
+        plan = PGApply(source(), ["g", "h"], count_pgq(), "grp")
+        out = {row[:2]: row[2] for row in run_plan(plan)}
+        assert out[(2, "x")] == 2
+        assert out[(1, "x")] == 1
+
+    def test_empty_input_produces_no_groups(self):
+        plan = PGApply(source([]), ["g"], count_pgq(), "grp")
+        assert run_plan(plan) == []
+
+    def test_multiset_duplicates_preserved_in_group(self):
+        pgq = PProject(PGroupScan("grp", SCHEMA), ((col("v"), "v"),))
+        plan = PGApply(source(), ["g"], pgq, "grp")
+        values = [row for row in run_plan(plan) if row[0] == 2]
+        assert values == [(2, 5.0), (2, 5.0)]
+
+    def test_filtering_pgq(self):
+        pgq = PHashAggregate(
+            PFilter(PGroupScan("grp", SCHEMA), gt(col("v"), lit(7.0))),
+            (),
+            (count_star("n"),),
+        )
+        plan = PGApply(source(), ["g"], pgq, "grp")
+        out = {grouping_key((row[0],)): row[1] for row in run_plan(plan)}
+        assert out[grouping_key((1,))] == 2
+        assert out[grouping_key((2,))] == 0  # aggregate over empty subset
+
+    def test_sort_partitioning_clusters_keys_in_order(self):
+        plan = PGApply(source(), ["g"], count_pgq(), "grp", SORT_PARTITION)
+        keys = [row[0] for row in run_plan(plan)]
+        assert keys == [None, 1, 2]  # NULLS FIRST, then ascending
+
+
+class TestMechanics:
+    def test_unknown_partitioning_rejected(self):
+        with pytest.raises(PlanError):
+            PGApply(source(), ["g"], count_pgq(), "grp", "quantum")
+
+    def test_counters(self):
+        ctx = ExecutionContext()
+        run_plan(PGApply(source(), ["g"], count_pgq(), "grp"), ctx)
+        assert ctx.counters.groups_partitioned == 3
+        assert ctx.counters.group_executions == 3
+        assert ctx.counters.peak_partition_rows == 5
+        assert ctx.counters.buffered_cells == 5 * 3
+
+    def test_group_rows_are_copies(self):
+        """Partition buffering materializes rows (width-proportional copy)."""
+        plan = PGApply(source(), ["g"], count_pgq(), "grp")
+        ctx = ExecutionContext()
+        partitions = list(plan._partition_hash(ctx))
+        all_buffered = [row for _, rows in partitions for row in rows]
+        for buffered in all_buffered:
+            assert buffered in ROWS
+            assert not any(buffered is original for original in ROWS)
+
+    def test_output_schema_keys_then_pgq(self):
+        plan = PGApply(source(), ["g"], count_pgq(), "grp")
+        assert plan.schema.qualified_names() == ["t.g", "n"]
+
+    def test_reexecutable(self):
+        plan = PGApply(source(), ["g"], count_pgq(), "grp")
+        assert run_plan(plan) == run_plan(plan)
+
+    def test_nested_gapply_with_distinct_variables(self):
+        # inner GApply groups each outer group by h
+        inner_pgq = PHashAggregate(
+            PGroupScan("inner_grp", SCHEMA), (), (count_star("m"),)
+        )
+        inner = PGApply(
+            PGroupScan("outer_grp", SCHEMA), ["h"], inner_pgq, "inner_grp"
+        )
+        plan = PGApply(source(), ["g"], inner, "outer_grp")
+        rows = run_plan(plan)
+        out = {(row[0], row[1]): row[2] for row in rows}
+        assert out[(2, "x")] == 2
+        assert out[(1, "y")] == 1
+
+    def test_avg_pgq(self):
+        pgq = PHashAggregate(PGroupScan("grp", SCHEMA), (), (avg(col("v"), "m"),))
+        plan = PGApply(source(), ["g"], pgq, "grp")
+        out = {grouping_key((row[0],)): row[1] for row in run_plan(plan)}
+        assert out[grouping_key((1,))] == 15.0

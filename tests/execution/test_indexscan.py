@@ -1,0 +1,132 @@
+"""Unit tests for index-based operators."""
+
+import pytest
+
+from repro.algebra.expressions import col, eq, gt, lit
+from repro.errors import PlanError
+from repro.execution.base import PMaterialized, run_plan
+from repro.execution.context import ExecutionContext
+from repro.execution.indexscan import PIndexNestedLoopJoin, PIndexSeek
+from repro.storage.schema import Column, Schema
+from repro.storage.table import table_from_rows
+from repro.storage.types import DataType
+
+
+def make_table():
+    return table_from_rows(
+        "items",
+        [("id", DataType.INTEGER), ("grp", DataType.INTEGER), ("price", DataType.FLOAT)],
+        [(i, i % 4, float(i * 10)) for i in range(1, 13)],
+        primary_key=["id"],
+    )
+
+
+class TestIndexSeek:
+    def test_equality_seek(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        plan = PIndexSeek(table, index, equal_values=(2,))
+        assert {row[0] for row in run_plan(plan)} == {2, 6, 10}
+
+    def test_range_seek(self):
+        table = make_table()
+        index = table.create_index(["price"])
+        plan = PIndexSeek(table, index, low=30.0, high=50.0)
+        assert [row[2] for row in run_plan(plan)] == [30.0, 40.0, 50.0]
+
+    def test_exclusive_range(self):
+        table = make_table()
+        index = table.create_index(["price"])
+        plan = PIndexSeek(
+            table, index, low=30.0, high=50.0, low_inclusive=False, high_inclusive=False
+        )
+        assert [row[2] for row in run_plan(plan)] == [40.0]
+
+    def test_residual_filter(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        plan = PIndexSeek(
+            table, index, equal_values=(2,), residual=gt(col("price"), lit(50.0))
+        )
+        assert {row[0] for row in run_plan(plan)} == {6, 10}
+
+    def test_alias_schema(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        plan = PIndexSeek(table, index, alias="x", equal_values=(0,))
+        assert plan.schema.qualified_names()[0] == "x.id"
+
+    def test_needs_exactly_one_probe_mode(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        with pytest.raises(PlanError):
+            PIndexSeek(table, index)
+        with pytest.raises(PlanError):
+            PIndexSeek(table, index, equal_values=(1,), low=0.0)
+
+    def test_counters_count_only_fetched(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        ctx = ExecutionContext()
+        run_plan(PIndexSeek(table, index, equal_values=(1,)), ctx)
+        assert ctx.counters.table_scan_rows == 3  # not 12
+
+
+class TestIndexNestedLoopJoin:
+    def outer(self):
+        schema = Schema(
+            (Column("key", DataType.INTEGER, "o"), Column("tag", DataType.STRING, "o"))
+        )
+        return PMaterialized(schema, [(0, "a"), (2, "b"), (99, "c")])
+
+    def test_lookup_join(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        plan = PIndexNestedLoopJoin(self.outer(), table, index, ["key"])
+        rows = run_plan(plan)
+        assert all(row[0] == row[3] for row in rows)  # key == grp
+        assert {row[1] for row in rows} == {"a", "b"}  # 99 finds nothing
+
+    def test_outer_on_right_output_order(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        plan = PIndexNestedLoopJoin(
+            self.outer(), table, index, ["key"], outer_is_left=False
+        )
+        # output = inner ++ outer
+        assert plan.schema.qualified_names()[:3] == [
+            "items.id",
+            "items.grp",
+            "items.price",
+        ]
+        rows = run_plan(plan)
+        assert all(row[1] == row[3] for row in rows)
+
+    def test_residual(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        plan = PIndexNestedLoopJoin(
+            self.outer(),
+            table,
+            index,
+            ["key"],
+            residual=gt(col("price"), lit(50.0)),
+        )
+        assert all(row[4] > 50.0 for row in run_plan(plan))
+
+    def test_probe_counter(self):
+        table = make_table()
+        index = table.create_index(["grp"])
+        ctx = ExecutionContext()
+        run_plan(PIndexNestedLoopJoin(self.outer(), table, index, ["key"]), ctx)
+        assert ctx.counters.join_probes == 3
+
+    def test_equivalent_to_hash_join(self):
+        from repro.execution.joins import PHashJoin
+        from repro.execution.scans import PTableScan
+
+        table = make_table()
+        index = table.create_index(["grp"])
+        inlj = PIndexNestedLoopJoin(self.outer(), table, index, ["key"])
+        hashed = PHashJoin(self.outer(), PTableScan(table), ["key"], ["grp"])
+        assert sorted(run_plan(inlj), key=repr) == sorted(run_plan(hashed), key=repr)

@@ -1,0 +1,116 @@
+"""Unit tests for join operators: hash, nested-loop, semi/anti, build side."""
+
+import pytest
+
+from repro.algebra.expressions import And, col, eq, gt, lit
+from repro.algebra.operators import JoinKind
+from repro.errors import PlanError
+from repro.execution.base import PMaterialized, run_plan
+from repro.execution.context import ExecutionContext
+from repro.execution.joins import PHashJoin, PNestedLoopJoin
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+LEFT = Schema((Column("lk", DataType.INTEGER, "l"), Column("lv", DataType.STRING, "l")))
+RIGHT = Schema((Column("rk", DataType.INTEGER, "r"), Column("rv", DataType.STRING, "r")))
+
+LEFT_ROWS = [(1, "a"), (2, "b"), (2, "B"), (None, "n"), (4, "d")]
+RIGHT_ROWS = [(1, "x"), (2, "y"), (3, "z"), (None, "nn")]
+
+
+def left():
+    return PMaterialized(LEFT, LEFT_ROWS)
+
+
+def right():
+    return PMaterialized(RIGHT, RIGHT_ROWS)
+
+
+def hash_join(**kwargs):
+    return PHashJoin(left(), right(), ["lk"], ["rk"], **kwargs)
+
+
+class TestHashJoin:
+    def test_inner_matches(self):
+        rows = run_plan(hash_join())
+        assert sorted(rows) == [(1, "a", 1, "x"), (2, "B", 2, "y"), (2, "b", 2, "y")]
+
+    def test_null_keys_never_match(self):
+        rows = run_plan(hash_join())
+        assert all(row[0] is not None for row in rows)
+
+    def test_residual_predicate(self):
+        residual = eq(col("lv"), lit("b"))
+        rows = run_plan(hash_join(residual=residual))
+        assert rows == [(2, "b", 2, "y")]
+
+    def test_build_left_same_results(self):
+        normal = sorted(run_plan(hash_join()))
+        swapped = sorted(run_plan(hash_join(build_left=True)))
+        assert normal == swapped
+
+    def test_build_left_counters(self):
+        ctx = ExecutionContext()
+        run_plan(hash_join(build_left=True), ctx)
+        # build on left: 4 non-null left rows inserted
+        assert ctx.counters.hash_inserts == 4
+
+    def test_semi(self):
+        rows = run_plan(hash_join(kind=JoinKind.SEMI))
+        assert sorted(rows) == [(1, "a"), (2, "B"), (2, "b")]
+
+    def test_anti(self):
+        rows = run_plan(hash_join(kind=JoinKind.ANTI))
+        assert sorted(rows, key=repr) == [(4, "d"), (None, "n")]
+
+    def test_build_left_semi_rejected(self):
+        with pytest.raises(PlanError):
+            hash_join(kind=JoinKind.SEMI, build_left=True)
+
+    def test_empty_key_list_rejected(self):
+        with pytest.raises(PlanError):
+            PHashJoin(left(), right(), [], [])
+
+    def test_schema_concat(self):
+        assert hash_join().schema.qualified_names() == [
+            "l.lk",
+            "l.lv",
+            "r.rk",
+            "r.rv",
+        ]
+
+
+class TestNestedLoopJoin:
+    def test_cross_join(self):
+        plan = PNestedLoopJoin(left(), right(), None)
+        assert len(run_plan(plan)) == len(LEFT_ROWS) * len(RIGHT_ROWS)
+
+    def test_theta_join(self):
+        plan = PNestedLoopJoin(left(), right(), gt(col("lk"), col("rk")))
+        rows = run_plan(plan)
+        assert all(row[0] > row[2] for row in rows)
+
+    def test_equi_matches_hash_join(self):
+        nl = PNestedLoopJoin(left(), right(), eq(col("lk"), col("rk")))
+        assert sorted(run_plan(nl)) == sorted(run_plan(hash_join()))
+
+    def test_semi(self):
+        plan = PNestedLoopJoin(
+            left(), right(), eq(col("lk"), col("rk")), JoinKind.SEMI
+        )
+        assert sorted(run_plan(plan)) == [(1, "a"), (2, "B"), (2, "b")]
+
+    def test_anti(self):
+        plan = PNestedLoopJoin(
+            left(), right(), eq(col("lk"), col("rk")), JoinKind.ANTI
+        )
+        assert sorted(run_plan(plan), key=repr) == [(4, "d"), (None, "n")]
+
+    def test_compound_predicate(self):
+        predicate = And(eq(col("lk"), col("rk")), eq(col("rv"), lit("y")))
+        plan = PNestedLoopJoin(left(), right(), predicate)
+        assert sorted(run_plan(plan)) == [(2, "B", 2, "y"), (2, "b", 2, "y")]
+
+    def test_unsupported_kind(self):
+        with pytest.raises(PlanError):
+            PNestedLoopJoin(left(), right(), None, JoinKind.LEFT_OUTER)

@@ -1,0 +1,82 @@
+"""Unit tests for the scan leaves and the materialized source."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution.base import PMaterialized, run_plan
+from repro.execution.context import ExecutionContext
+from repro.execution.scans import PGroupScan, PTableScan
+from repro.storage.schema import Column, Schema
+from repro.storage.table import table_from_rows
+from repro.storage.types import DataType
+
+
+def make_table():
+    return table_from_rows(
+        "t", [("a", DataType.INTEGER), ("b", DataType.STRING)], [(1, "x"), (2, "y")]
+    )
+
+
+class TestTableScan:
+    def test_emits_all_rows(self):
+        plan = PTableScan(make_table())
+        assert run_plan(plan) == [(1, "x"), (2, "y")]
+
+    def test_schema_qualified_by_table_name(self):
+        plan = PTableScan(make_table())
+        assert plan.schema.qualified_names() == ["t.a", "t.b"]
+
+    def test_alias_requalifies(self):
+        plan = PTableScan(make_table(), alias="u")
+        assert plan.schema.qualified_names() == ["u.a", "u.b"]
+        assert "AS u" in plan.label()
+
+    def test_counters(self):
+        ctx = ExecutionContext()
+        run_plan(PTableScan(make_table()), ctx)
+        assert ctx.counters.table_scan_rows == 2
+
+    def test_sees_inserted_rows(self):
+        table = make_table()
+        plan = PTableScan(table)
+        table.insert((3, "z"))
+        assert len(run_plan(plan)) == 3
+
+
+class TestGroupScan:
+    SCHEMA = Schema((Column("a", DataType.INTEGER),))
+
+    def test_reads_bound_relation(self):
+        plan = PGroupScan("g", self.SCHEMA)
+        ctx = ExecutionContext().with_relation("g", [(1,), (2,)])
+        assert run_plan(plan, ctx) == [(1,), (2,)]
+
+    def test_unbound_variable_raises(self):
+        plan = PGroupScan("g", self.SCHEMA)
+        with pytest.raises(ExecutionError):
+            run_plan(plan, ExecutionContext())
+
+    def test_rebinding_changes_output(self):
+        plan = PGroupScan("g", self.SCHEMA)
+        first = ExecutionContext().with_relation("g", [(1,)])
+        second = ExecutionContext().with_relation("g", [(9,), (8,)])
+        assert run_plan(plan, first) == [(1,)]
+        assert run_plan(plan, second) == [(9,), (8,)]
+
+    def test_counters(self):
+        plan = PGroupScan("g", self.SCHEMA)
+        ctx = ExecutionContext().with_relation("g", [(1,), (2,), (3,)])
+        run_plan(plan, ctx)
+        assert ctx.counters.group_scan_rows == 3
+
+
+class TestMaterialized:
+    def test_round_trip(self):
+        schema = Schema((Column("x", DataType.INTEGER),))
+        plan = PMaterialized(schema, [(1,), (2,)])
+        assert run_plan(plan) == [(1,), (2,)]
+        assert "2 rows" in plan.label()
+
+    def test_empty(self):
+        plan = PMaterialized(Schema((Column("x", DataType.INTEGER),)), [])
+        assert run_plan(plan) == []

@@ -1,0 +1,126 @@
+"""Unit tests for index access-path selection."""
+
+import pytest
+
+from repro.algebra.expressions import And, col, eq, ge, gt, le, lit
+from repro.algebra.operators import Join, Prune, Select, TableScan
+from repro.optimizer.access_paths import choose_join_side, choose_seek
+from repro.storage import Catalog, DataType, table_from_rows
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    table = table_from_rows(
+        "items",
+        [
+            ("id", DataType.INTEGER),
+            ("grp", DataType.INTEGER),
+            ("price", DataType.FLOAT),
+            ("label", DataType.STRING),
+        ],
+        [(i, i % 5, float(i), f"x{i}") for i in range(50)],
+        primary_key=["id"],
+    )
+    table.create_index(["id"])
+    table.create_index(["grp"])
+    table.create_index(["price"])
+    catalog.register(table)
+    return catalog
+
+
+def scan(catalog, alias=None):
+    return TableScan.of(catalog.table("items"), alias)
+
+
+class TestChooseSeek:
+    def test_equality_probe(self, catalog):
+        node = Select(scan(catalog), eq(col("grp"), lit(3)))
+        seek = choose_seek(node, catalog)
+        assert seek is not None
+        assert seek.equal_values == (3,)
+        assert seek.residual is None
+
+    def test_reversed_literal_side(self, catalog):
+        node = Select(scan(catalog), eq(lit(3), col("grp")))
+        seek = choose_seek(node, catalog)
+        assert seek is not None and seek.equal_values == (3,)
+
+    def test_range_probe_with_bounds(self, catalog):
+        node = Select(
+            scan(catalog),
+            And(ge(col("price"), lit(10.0)), le(col("price"), lit(20.0))),
+        )
+        seek = choose_seek(node, catalog)
+        assert seek is not None
+        assert seek.equal_values is None
+        assert seek.low == 10.0 and seek.high == 20.0
+
+    def test_strict_bounds(self, catalog):
+        node = Select(scan(catalog), gt(col("price"), lit(10.0)))
+        seek = choose_seek(node, catalog)
+        assert seek is not None
+        assert not seek.low_inclusive
+
+    def test_residual_conjuncts_kept(self, catalog):
+        node = Select(
+            scan(catalog),
+            And(eq(col("grp"), lit(1)), eq(col("label"), lit("x6"))),
+        )
+        seek = choose_seek(node, catalog)
+        assert seek is not None
+        assert seek.residual is not None
+        assert "label" in str(seek.residual)
+
+    def test_unindexed_column(self, catalog):
+        node = Select(scan(catalog), eq(col("label"), lit("x1")))
+        assert choose_seek(node, catalog) is None
+
+    def test_null_literal_not_probed(self, catalog):
+        node = Select(scan(catalog), eq(col("grp"), lit(None)))
+        assert choose_seek(node, catalog) is None
+
+    def test_aliased_scan(self, catalog):
+        node = Select(scan(catalog, "i"), eq(col("i.grp"), lit(2)))
+        seek = choose_seek(node, catalog)
+        assert seek is not None and seek.alias == "i"
+
+    def test_non_scan_child(self, catalog):
+        inner = Select(scan(catalog), eq(col("grp"), lit(1)))
+        node = Select(inner, eq(col("id"), lit(5)))
+        assert choose_seek(node, catalog) is None
+
+    def test_equality_preferred_over_range(self, catalog):
+        node = Select(
+            scan(catalog),
+            And(eq(col("id"), lit(7)), le(col("price"), lit(100.0))),
+        )
+        seek = choose_seek(node, catalog)
+        assert seek is not None and seek.equal_values == (7,)
+
+
+class TestChooseJoinSide:
+    def test_bare_scan_with_index(self, catalog):
+        side = choose_join_side(scan(catalog), ["grp"], catalog)
+        assert side is not None
+        assert side.filter_predicate is None
+
+    def test_filtered_scan(self, catalog):
+        node = Select(scan(catalog), gt(col("price"), lit(5.0)))
+        side = choose_join_side(node, ["grp"], catalog)
+        assert side is not None
+        assert side.filter_predicate is not None
+
+    def test_missing_index(self, catalog):
+        assert choose_join_side(scan(catalog), ["label"], catalog) is None
+
+    def test_non_scan_side(self, catalog):
+        node = Join(scan(catalog, "a"), scan(catalog, "b"),
+                    eq(col("a.id"), col("b.id")))
+        assert choose_join_side(node, ["a.id"], catalog) is None
+
+    def test_prune_wrapped_scan_not_indexable(self, catalog):
+        # An index lookup fetches full-width rows; a pruned side's output
+        # schema is narrower, so it cannot be served by index lookups.
+        node = Prune(scan(catalog), ("items.grp", "items.price"))
+        assert choose_join_side(node, ["grp"], catalog) is None

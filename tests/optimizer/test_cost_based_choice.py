@@ -1,0 +1,76 @@
+"""The optimizer's cost-based *choice* among rule alternatives.
+
+Table 1 shows some rules win or lose depending on parameters; the paper's
+point of costing (Section 4.4) is that a Volcano optimizer should fire
+them only when beneficial. These tests check the end-to-end choice: with
+the full rule set and the cost model, the chosen plan's measured work is
+never substantially worse than either alternative's.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    bind,
+    lower,
+    measure_physical,
+    optimize_with,
+    traditional_rules,
+)
+from repro.optimizer.engine import Optimizer, apply_rule_once
+from repro.optimizer.rules import rule_by_name
+from repro.storage import Catalog
+from repro.workloads.rule_queries import (
+    EXISTS_SWEEP,
+    SELECTION_SWEEP,
+)
+from repro.workloads.tpch import TpchConfig, load_tpch
+
+
+@pytest.fixture(scope="module")
+def catalog() -> Catalog:
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=0.05))
+    return catalog
+
+
+def chosen_work(catalog, sql) -> int:
+    best = optimize_with(catalog, bind(catalog, sql))
+    return measure_physical(lower(catalog, best), repetitions=1).work
+
+
+def forced_work(catalog, sql, rule_name, fire: bool) -> int:
+    normalized = optimize_with(catalog, bind(catalog, sql), traditional_rules())
+    if fire:
+        rewritten = apply_rule_once(
+            normalized, rule_by_name(rule_name), catalog
+        )
+        assert rewritten is not None
+        normalized = rewritten
+    return measure_physical(lower(catalog, normalized), repetitions=1).work
+
+
+class TestCostBasedSelection:
+    def test_selective_covering_range_is_exploited(self, catalog):
+        """At a selective threshold the full optimizer must do roughly as
+        well as hand-firing the selection rule."""
+        parameter, sql = SELECTION_SWEEP.instances()[1]
+        chosen = chosen_work(catalog, sql)
+        hand_fired = forced_work(catalog, sql, "selection_before_gapply", True)
+        not_fired = forced_work(catalog, sql, "selection_before_gapply", False)
+        assert chosen <= hand_fired * 1.6
+        assert chosen < not_fired
+
+    def test_unselective_group_selection_not_chosen_blindly(self, catalog):
+        """At threshold 0 every group qualifies; the rewrite only adds a
+        reconstruction join. The cost-based choice must not be worse than
+        the unrewritten plan."""
+        parameter, sql = EXISTS_SWEEP.instances()[-1]  # threshold 0.0
+        chosen = chosen_work(catalog, sql)
+        not_fired = forced_work(catalog, sql, "exists_group_selection", False)
+        assert chosen <= not_fired * 1.25
+
+    def test_report_costs_are_monotone(self, catalog):
+        parameter, sql = SELECTION_SWEEP.instances()[0]
+        report = Optimizer(catalog).optimize(bind(catalog, sql))
+        assert report.best_estimate.cost <= report.original_estimate.cost
+        assert report.explored >= 1

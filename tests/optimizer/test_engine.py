@@ -1,0 +1,138 @@
+"""Unit tests for the transformation engine."""
+
+import pytest
+
+from repro.algebra.expressions import avg, col, count_star, eq, gt, lit
+from repro.algebra.operators import (
+    GApply,
+    GroupBy,
+    GroupScan,
+    Join,
+    Select,
+    TableScan,
+)
+from repro.execution.base import run_plan
+from repro.optimizer.engine import Optimizer, apply_rule_once, optimize
+from repro.optimizer.planner import plan_physical
+from repro.optimizer.rules import DEFAULT_RULES, rule_by_name
+from repro.storage import Catalog, DataType, table_from_rows
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register(
+        table_from_rows(
+            "part",
+            [
+                ("p_partkey", DataType.INTEGER),
+                ("p_brand", DataType.STRING),
+                ("p_retailprice", DataType.FLOAT),
+            ],
+            [(i, "A" if i % 2 == 0 else "B", float(i)) for i in range(1, 41)],
+            primary_key=["p_partkey"],
+        )
+    )
+    catalog.register(
+        table_from_rows(
+            "partsupp",
+            [("ps_suppkey", DataType.INTEGER), ("ps_partkey", DataType.INTEGER)],
+            [(100 + (i % 4), i) for i in range(1, 41)],
+        )
+    )
+    catalog.add_foreign_key("partsupp", ["ps_partkey"], "part", ["p_partkey"])
+    return catalog
+
+
+def sample_plan(catalog):
+    outer = Select(
+        Join(
+            TableScan.of(catalog.table("partsupp")),
+            TableScan.of(catalog.table("part")),
+            None,
+        ),
+        eq(col("ps_partkey"), col("p_partkey")),
+    )
+    g = outer.schema
+    pgq = GroupBy(
+        Select(GroupScan("g", g), eq(col("p_brand"), lit("A"))),
+        (),
+        (avg(col("p_retailprice"), "m"),),
+    )
+    return GApply(outer, ("ps_suppkey",), pgq, "g")
+
+
+class TestExploration:
+    def test_explore_includes_original(self, catalog):
+        optimizer = Optimizer(catalog)
+        plan = sample_plan(catalog)
+        alternatives = optimizer.explore(plan)
+        assert alternatives[0] == plan
+        assert len(alternatives) > 1
+
+    def test_exploration_terminates_and_dedupes(self, catalog):
+        optimizer = Optimizer(catalog, max_alternatives=500)
+        alternatives = optimizer.explore(sample_plan(catalog))
+        assert len(alternatives) < 500
+        assert len(set(alternatives)) == len(alternatives)
+
+    def test_cap_respected(self, catalog):
+        optimizer = Optimizer(catalog, max_alternatives=3)
+        assert len(optimizer.explore(sample_plan(catalog))) <= 3
+
+
+class TestOptimize:
+    def test_improves_cost(self, catalog):
+        report = optimize(sample_plan(catalog), catalog)
+        assert report.best_estimate.cost <= report.original_estimate.cost
+        assert report.improved
+
+    def test_preserves_semantics(self, catalog):
+        plan = sample_plan(catalog)
+        report = optimize(plan, catalog)
+        a = sorted(run_plan(plan_physical(plan, catalog)), key=repr)
+        b = sorted(run_plan(plan_physical(report.best, catalog)), key=repr)
+        assert a == b
+
+    def test_preserves_schema(self, catalog):
+        plan = sample_plan(catalog)
+        report = optimize(plan, catalog)
+        assert report.best.schema == plan.schema
+
+    def test_fired_trace_nonempty_when_changed(self, catalog):
+        report = optimize(sample_plan(catalog), catalog)
+        if report.best != sample_plan(catalog):
+            assert report.fired
+
+    def test_empty_rule_set_returns_original(self, catalog):
+        plan = sample_plan(catalog)
+        report = optimize(plan, catalog, rules=[])
+        assert report.best == plan
+        assert report.explored == 1
+
+    def test_subset_of_rules(self, catalog):
+        plan = sample_plan(catalog)
+        only_pushdown = [rule_by_name("select_pushdown")]
+        report = optimize(plan, catalog, rules=only_pushdown)
+        assert isinstance(report.best, GApply)
+        assert isinstance(report.best.outer, Join)
+
+
+class TestApplyRuleOnce:
+    def test_returns_none_when_no_match(self, catalog):
+        scan = TableScan.of(catalog.table("part"))
+        assert apply_rule_once(scan, rule_by_name("gapply_to_groupby"), catalog) is None
+
+    def test_applies_at_first_matching_position(self, catalog):
+        plan = sample_plan(catalog)
+        rewritten = apply_rule_once(plan, rule_by_name("select_pushdown"), catalog)
+        assert rewritten is not None
+        assert rewritten != plan
+
+    def test_all_default_rules_have_unique_names(self):
+        names = [rule.name for rule in DEFAULT_RULES]
+        assert len(set(names)) == len(names)
+
+    def test_rule_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            rule_by_name("no_such_rule")

@@ -1,0 +1,242 @@
+"""Unit tests for Section-4 property derivations."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Or,
+    avg,
+    col,
+    count_star,
+    eq,
+    gt,
+    lit,
+    min_,
+)
+from repro.algebra.operators import (
+    Apply,
+    Distinct,
+    Exists,
+    GroupBy,
+    GroupScan,
+    Join,
+    OrderBy,
+    Project,
+    Prune,
+    Select,
+    TableScan,
+    UnionAll,
+)
+from repro.optimizer.properties import (
+    covering_range,
+    empty_on_empty,
+    gp_eval_columns,
+    is_foreign_key_join,
+    join_columns,
+    left_deep_nodes,
+    referenced_columns,
+)
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+GROUP = Schema(
+    (
+        Column("k", DataType.INTEGER, "t"),
+        Column("brand", DataType.STRING, "t"),
+        Column("price", DataType.FLOAT, "t"),
+    )
+)
+
+
+def g():
+    return GroupScan("g", GROUP)
+
+
+class TestEmptyOnEmpty:
+    def test_scan_true(self):
+        assert empty_on_empty(g())
+
+    def test_select_passes_through(self):
+        assert empty_on_empty(Select(g(), gt(col("price"), lit(1.0))))
+
+    def test_scalar_aggregate_false(self):
+        assert not empty_on_empty(GroupBy(g(), (), (count_star("n"),)))
+
+    def test_keyed_groupby_true(self):
+        assert empty_on_empty(GroupBy(g(), ("brand",), (count_star("n"),)))
+
+    def test_project_distinct_orderby_exists(self):
+        assert empty_on_empty(Project(g(), ((col("price"), "p"),)))
+        assert empty_on_empty(Distinct(g()))
+        assert empty_on_empty(OrderBy(g(), (("price", True),)))
+        assert empty_on_empty(Exists(g()))
+
+    def test_apply_uses_outer_child(self):
+        scalar = GroupBy(g(), (), (avg(col("price"), "m"),))
+        node = Apply(g(), scalar)  # outer is a scan -> True
+        assert empty_on_empty(node)
+        node = Apply(scalar, g())  # outer is an aggregate -> False
+        assert not empty_on_empty(node)
+
+    def test_union_requires_all_children(self):
+        scalar = GroupBy(g(), (), (count_star("n"),))
+        ok = Project(g(), ((col("price"), "p"),))
+        bad = Project(scalar, ((col("n"), "p"),))
+        assert empty_on_empty(UnionAll((ok, ok)))
+        assert not empty_on_empty(UnionAll((ok, bad)))
+
+
+class TestCoveringRange:
+    def test_scan_is_whole_group(self):
+        assert covering_range(g()) is None
+
+    def test_plain_select_contributes(self):
+        condition = eq(col("brand"), lit("A"))
+        assert covering_range(Select(g(), condition)) == condition
+
+    def test_stacked_selects_conjoin(self):
+        a = eq(col("brand"), lit("A"))
+        b = gt(col("price"), lit(1.0))
+        node = Select(Select(g(), a), b)
+        range_ = covering_range(node)
+        assert range_ is not None
+        assert set(str(range_).split(" AND ")) == {str(a).join(["(", ")"]) or str(a), str(b)} or True
+        # structural check: both conjuncts present
+        from repro.algebra.expressions import conjuncts
+
+        assert set(conjuncts(range_)) == {a, b}
+
+    def test_select_above_aggregate_blocked(self):
+        scalar = GroupBy(Select(g(), eq(col("brand"), lit("B"))), (), (avg(col("price"), "m"),))
+        applied = Apply(Select(g(), eq(col("brand"), lit("A"))), scalar)
+        node = Select(applied, gt(col("price"), col("m")))
+        # the top select sits above an Apply -> contributes nothing; range is
+        # the disjunction of the apply children (Figure 3's A-or-B)
+        range_ = covering_range(node)
+        assert isinstance(range_, Or)
+        assert set(range_.operands) == {
+            eq(col("brand"), lit("A")),
+            eq(col("brand"), lit("B")),
+        }
+
+    def test_union_disjunction(self):
+        a = Select(g(), eq(col("brand"), lit("A")))
+        b = Select(g(), eq(col("brand"), lit("B")))
+        range_ = covering_range(UnionAll((Project(a, ((col("price"), "p"),)), Project(b, ((col("price"), "p"),)))))
+        assert isinstance(range_, Or)
+
+    def test_union_with_unfiltered_branch_is_whole_group(self):
+        a = Select(g(), eq(col("brand"), lit("A")))
+        node = UnionAll(
+            (
+                Project(a, ((col("price"), "p"),)),
+                Project(g(), ((col("price"), "p"),)),
+            )
+        )
+        assert covering_range(node) is None
+
+    def test_duplicate_disjuncts_collapse(self):
+        condition = eq(col("brand"), lit("A"))
+        scalar = GroupBy(Select(g(), condition), (), (avg(col("price"), "m"),))
+        node = Apply(Select(g(), condition), scalar)
+        assert covering_range(node) == condition
+
+
+class TestColumnAnalyses:
+    def test_gp_eval_excludes_projected(self):
+        node = Project(
+            Select(g(), gt(col("price"), lit(1.0))),
+            ((col("brand"), "b"),),
+        )
+        assert gp_eval_columns(node) == frozenset({"price"})
+
+    def test_gp_eval_includes_aggregated(self):
+        node = GroupBy(g(), ("brand",), (min_(col("price"), "m"),))
+        assert gp_eval_columns(node) == frozenset({"brand", "price"})
+
+    def test_gp_eval_orderby(self):
+        node = OrderBy(g(), (("price", True),))
+        assert gp_eval_columns(node) == frozenset({"price"})
+
+    def test_referenced_includes_projected(self):
+        node = Project(
+            Select(g(), gt(col("price"), lit(1.0))),
+            ((col("brand"), "b"),),
+        )
+        assert referenced_columns(node) == frozenset({"price", "brand"})
+
+    def test_referenced_includes_prune_refs(self):
+        node = Prune(g(), ("t.k", "t.price"))
+        assert referenced_columns(node) == frozenset({"t.k", "t.price"})
+
+
+class TestJoinTreeAnalyses:
+    def make_catalog(self):
+        from repro.storage import Catalog, table_from_rows
+
+        catalog = Catalog()
+        catalog.register(
+            table_from_rows(
+                "child",
+                [("c_id", DataType.INTEGER), ("c_pid", DataType.INTEGER)],
+                [(1, 10)],
+                primary_key=["c_id"],
+            )
+        )
+        catalog.register(
+            table_from_rows(
+                "parent",
+                [("p_id", DataType.INTEGER), ("p_name", DataType.STRING)],
+                [(10, "x")],
+                primary_key=["p_id"],
+            )
+        )
+        catalog.add_foreign_key("child", ["c_pid"], "parent", ["p_id"])
+        return catalog
+
+    def scans(self, catalog):
+        child = TableScan.of(catalog.table("child"))
+        parent = TableScan.of(catalog.table("parent"))
+        return child, parent
+
+    def test_left_deep_enumeration(self):
+        catalog = self.make_catalog()
+        child, parent = self.scans(catalog)
+        join = Join(child, parent, eq(col("c_pid"), col("p_id")))
+        nodes = left_deep_nodes(join)
+        assert len(nodes) == 2
+        assert nodes[0].operator is join
+        assert nodes[1].operator is child
+        assert len(nodes[1].joins_above) == 1
+
+    def test_join_columns(self):
+        catalog = self.make_catalog()
+        child, parent = self.scans(catalog)
+        join = Join(child, parent, eq(col("c_pid"), col("p_id")))
+        node = left_deep_nodes(join)[1]
+        assert join_columns(node) == frozenset({"c_pid"})
+
+    def test_fk_join_detected(self):
+        catalog = self.make_catalog()
+        child, parent = self.scans(catalog)
+        join = Join(child, parent, eq(col("c_pid"), col("p_id")))
+        assert is_foreign_key_join(join, catalog)
+
+    def test_reversed_fk_join_not_detected(self):
+        # FK must be on the LEFT (outer) child
+        catalog = self.make_catalog()
+        child, parent = self.scans(catalog)
+        join = Join(parent, child, eq(col("c_pid"), col("p_id")))
+        assert not is_foreign_key_join(join, catalog)
+
+    def test_non_key_join_not_detected(self):
+        catalog = self.make_catalog()
+        child, parent = self.scans(catalog)
+        join = Join(child, parent, eq(col("c_id"), col("p_name")))
+        assert not is_foreign_key_join(join, catalog)
+
+    def test_filtered_parent_still_fk(self):
+        catalog = self.make_catalog()
+        child, parent = self.scans(catalog)
+        filtered = Select(parent, eq(col("p_name"), lit("x")))
+        join = Join(child, filtered, eq(col("c_pid"), col("p_id")))
+        assert is_foreign_key_join(join, catalog)

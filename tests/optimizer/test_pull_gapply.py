@@ -1,0 +1,143 @@
+"""Unit tests for the pull-GApply-above-join rule ([12], Section 4.3)."""
+
+import pytest
+
+from repro.algebra.expressions import col, count_star, eq, gt, min_
+from repro.algebra.operators import (
+    Apply,
+    GApply,
+    GroupBy,
+    GroupScan,
+    Join,
+    Project,
+    Select,
+    TableScan,
+)
+from repro.execution.base import run_plan
+from repro.optimizer.engine import apply_rule_once
+from repro.optimizer.planner import plan_physical
+from repro.optimizer.rules import rule_by_name
+from repro.storage import Catalog, DataType, table_from_rows
+
+RULE = "pull_gapply_above_join"
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register(
+        table_from_rows(
+            "orders",
+            [("o_custkey", DataType.INTEGER), ("o_total", DataType.FLOAT)],
+            [(i % 4, float(i)) for i in range(1, 21)],
+        )
+    )
+    catalog.register(
+        table_from_rows(
+            "customer",
+            [("c_custkey", DataType.INTEGER), ("c_name", DataType.STRING)],
+            [(i, f"cust{i}") for i in range(4)],
+            primary_key=["c_custkey"],
+        )
+    )
+    catalog.add_foreign_key("orders", ["o_custkey"], "customer", ["c_custkey"])
+    return catalog
+
+
+def gapply_plan(catalog):
+    outer = TableScan.of(catalog.table("orders"))
+    pgq = GroupBy(GroupScan("g", outer.schema), (), (count_star("n"),))
+    return GApply(outer, ("o_custkey",), pgq, "g")
+
+
+def join_above(catalog, gapply):
+    return Join(
+        gapply,
+        TableScan.of(catalog.table("customer")),
+        eq(col("o_custkey"), col("c_custkey")),
+    )
+
+
+class TestPullRule:
+    def test_fires_on_key_join_above_gapply(self, catalog):
+        plan = join_above(catalog, gapply_plan(catalog))
+        rewritten = apply_rule_once(plan, rule_by_name(RULE), catalog)
+        assert isinstance(rewritten, GApply)
+        # the join moved under the GApply
+        assert isinstance(rewritten.outer, Join)
+
+    def test_semantics_preserved(self, catalog):
+        plan = join_above(catalog, gapply_plan(catalog))
+        rewritten = apply_rule_once(plan, rule_by_name(RULE), catalog)
+        a = sorted(run_plan(plan_physical(plan, catalog)), key=repr)
+        b = sorted(run_plan(plan_physical(rewritten, catalog)), key=repr)
+        assert a == b and a
+
+    def test_schema_preserved(self, catalog):
+        plan = join_above(catalog, gapply_plan(catalog))
+        rewritten = apply_rule_once(plan, rule_by_name(RULE), catalog)
+        assert rewritten.schema == plan.schema
+
+    def test_requires_unique_right_key(self, catalog):
+        # join against a non-key column: multiplicities would change
+        plan = Join(
+            gapply_plan(catalog),
+            TableScan.of(catalog.table("orders"), "o2"),
+            eq(col("o_custkey"), col("o2.o_custkey")),
+        )
+        assert apply_rule_once(plan, rule_by_name(RULE), catalog) is None
+
+    def test_rejects_join_on_per_group_output(self, catalog):
+        # joining on the aggregate output column cannot be lifted
+        plan = Join(
+            gapply_plan(catalog),
+            TableScan.of(catalog.table("customer")),
+            eq(col("n"), col("c_custkey")),
+        )
+        assert apply_rule_once(plan, rule_by_name(RULE), catalog) is None
+
+    def test_rejects_residual_predicates(self, catalog):
+        from repro.algebra.expressions import And, lit
+
+        plan = Join(
+            gapply_plan(catalog),
+            TableScan.of(catalog.table("customer")),
+            And(
+                eq(col("o_custkey"), col("c_custkey")),
+                gt(col("n"), lit(1)),
+            ),
+        )
+        assert apply_rule_once(plan, rule_by_name(RULE), catalog) is None
+
+    def test_inverts_invariant_grouping(self, catalog):
+        """push then pull returns an equivalent (costed both ways) plan."""
+        plan = join_above(catalog, gapply_plan(catalog))
+        pulled = apply_rule_once(plan, rule_by_name(RULE), catalog)
+        # per-group query gained the constants cross product
+        applies = [n for n in pulled.per_group.walk() if isinstance(n, Apply)]
+        assert applies
+        a = sorted(run_plan(plan_physical(plan, catalog)), key=repr)
+        b = sorted(run_plan(plan_physical(pulled, catalog)), key=repr)
+        assert a == b
+
+    def test_filtered_parent_side(self, catalog):
+        filtered = Select(
+            TableScan.of(catalog.table("customer")),
+            gt(col("c_custkey"), lit_int(0)),
+        )
+        plan = Join(
+            gapply_plan(catalog),
+            filtered,
+            eq(col("o_custkey"), col("c_custkey")),
+        )
+        rewritten = apply_rule_once(plan, rule_by_name(RULE), catalog)
+        assert rewritten is not None
+        a = sorted(run_plan(plan_physical(plan, catalog)), key=repr)
+        b = sorted(run_plan(plan_physical(rewritten, catalog)), key=repr)
+        assert a == b
+
+
+def lit_int(value):
+    from repro.algebra.expressions import Literal
+
+    return Literal(value)

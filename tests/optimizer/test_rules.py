@@ -1,0 +1,606 @@
+"""Unit tests for each transformation rule: pattern matching, guards, and
+semantics preservation (every rewrite must produce the same multiset).
+
+The Figure tests (F3-F7) build the paper's illustrative plans explicitly.
+"""
+
+import pytest
+
+from repro.algebra.expressions import (
+    avg,
+    col,
+    count_star,
+    eq,
+    gt,
+    lit,
+    min_,
+)
+from repro.algebra.operators import (
+    Alias,
+    Apply,
+    Distinct,
+    Exists,
+    GApply,
+    GroupBy,
+    GroupScan,
+    Join,
+    Project,
+    Prune,
+    Remap,
+    Select,
+    TableScan,
+    UnionAll,
+)
+from repro.execution.base import run_plan
+from repro.optimizer.engine import apply_rule_once, rewrite_everywhere
+from repro.optimizer.planner import plan_physical
+from repro.optimizer.rules import rule_by_name
+from repro.optimizer.rules.base import RuleContext
+from repro.storage import Catalog, DataType, table_from_rows
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register(
+        table_from_rows(
+            "part",
+            [
+                ("p_partkey", DataType.INTEGER),
+                ("p_brand", DataType.STRING),
+                ("p_name", DataType.STRING),
+                ("p_retailprice", DataType.FLOAT),
+            ],
+            [
+                (i, "A" if i % 3 == 0 else ("B" if i % 3 == 1 else "C"),
+                 f"part{i}", float(i * 7 % 50 + 1))
+                for i in range(1, 31)
+            ],
+            primary_key=["p_partkey"],
+        )
+    )
+    catalog.register(
+        table_from_rows(
+            "partsupp",
+            [("ps_suppkey", DataType.INTEGER), ("ps_partkey", DataType.INTEGER)],
+            [(100 + (i % 5), i) for i in range(1, 31)],
+        )
+    )
+    catalog.register(
+        table_from_rows(
+            "supplier",
+            [("s_suppkey", DataType.INTEGER), ("s_name", DataType.STRING)],
+            [(100 + i, f"supp{i}") for i in range(5)],
+            primary_key=["s_suppkey"],
+        )
+    )
+    catalog.add_foreign_key("partsupp", ["ps_partkey"], "part", ["p_partkey"])
+    catalog.add_foreign_key("partsupp", ["ps_suppkey"], "supplier", ["s_suppkey"])
+    return catalog
+
+
+def outer_join(catalog):
+    return Join(
+        TableScan.of(catalog.table("partsupp")),
+        TableScan.of(catalog.table("part")),
+        eq(col("ps_partkey"), col("p_partkey")),
+    )
+
+
+def assert_equivalent(catalog, original, rewritten):
+    a = sorted(run_plan(plan_physical(original, catalog)), key=repr)
+    b = sorted(run_plan(plan_physical(rewritten, catalog)), key=repr)
+    assert a == b
+    assert original.schema == rewritten.schema
+
+
+class TestSelectionBeforeGApply:
+    def figure3_plan(self, catalog):
+        """Figure 3: parts of brand A priced above the average of brand B."""
+        outer = outer_join(catalog)
+        g = outer.schema
+        inner_avg = GroupBy(
+            Select(GroupScan("g", g), eq(col("p_brand"), lit("B"))),
+            (),
+            (avg(col("p_retailprice"), "avg_b"),),
+        )
+        pgq = Project(
+            Select(
+                Apply(
+                    Select(GroupScan("g", g), eq(col("p_brand"), lit("A"))),
+                    inner_avg,
+                ),
+                gt(col("p_retailprice"), col("avg_b")),
+            ),
+            ((col("p_name"), "name"),),
+        )
+        return GApply(outer, ("ps_suppkey",), pgq, "g")
+
+    def test_figure3_fires_with_disjunctive_range(self, catalog):
+        plan = self.figure3_plan(catalog)
+        rule = rule_by_name("selection_before_gapply")
+        rewritten = apply_rule_once(plan, rule, catalog)
+        assert rewritten is not None
+        # the covering range (brand A or brand B) now guards the outer query
+        assert isinstance(rewritten.outer, Select)
+        assert "A" in str(rewritten.outer.predicate)
+        assert "B" in str(rewritten.outer.predicate)
+
+    def test_figure3_semantics_preserved(self, catalog):
+        plan = self.figure3_plan(catalog)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("selection_before_gapply"), catalog
+        )
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_blocked_by_aggregate_output(self, catalog):
+        """PGQ returning an aggregate row is not emptyOnEmpty -> no firing."""
+        outer = outer_join(catalog)
+        g = outer.schema
+        pgq = UnionAll(
+            (
+                Project(
+                    Select(GroupScan("g", g), eq(col("p_brand"), lit("A"))),
+                    ((col("p_retailprice"), "v"),),
+                ),
+                Project(
+                    GroupBy(
+                        Select(GroupScan("g", g), eq(col("p_brand"), lit("B"))),
+                        (),
+                        (avg(col("p_retailprice"), "m"),),
+                    ),
+                    ((col("m"), "v"),),
+                ),
+            )
+        )
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        rule = rule_by_name("selection_before_gapply")
+        assert apply_rule_once(plan, rule, catalog) is None
+
+    def test_no_refire_on_own_output(self, catalog):
+        plan = self.figure3_plan(catalog)
+        rule = rule_by_name("selection_before_gapply")
+        once = apply_rule_once(plan, rule, catalog)
+        context = RuleContext(catalog)
+        assert rule.apply(once, context) == []
+
+    def test_eliminates_equivalent_select(self, catalog):
+        """PGQ = sigma_A(group): pushing A outer removes the inner select."""
+        outer = outer_join(catalog)
+        g = outer.schema
+        condition = eq(col("p_brand"), lit("A"))
+        pgq = Project(
+            Select(GroupScan("g", g), condition), ((col("p_name"), "n"),)
+        )
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        rewritten = apply_rule_once(
+            plan, rule_by_name("selection_before_gapply"), catalog
+        )
+        assert rewritten is not None
+        assert not any(
+            isinstance(node, Select) for node in rewritten.per_group.walk()
+        )
+        assert_equivalent(catalog, plan, rewritten)
+
+
+class TestProjectionBeforeGApply:
+    def test_prunes_unreferenced_columns(self, catalog):
+        outer = outer_join(catalog)
+        g = outer.schema
+        pgq = GroupBy(GroupScan("g", g), (), (avg(col("p_retailprice"), "m"),))
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        rewritten = apply_rule_once(
+            plan, rule_by_name("projection_before_gapply"), catalog
+        )
+        assert rewritten is not None
+        assert isinstance(rewritten.outer, Prune)
+        assert set(rewritten.outer.references) == {
+            "partsupp.ps_suppkey",
+            "part.p_retailprice",
+        }
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_skips_whole_group_passthrough(self, catalog):
+        outer = outer_join(catalog)
+        pgq = GroupScan("g", outer.schema)
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        assert (
+            apply_rule_once(plan, rule_by_name("projection_before_gapply"), catalog)
+            is None
+        )
+
+    def test_skips_when_everything_referenced(self, catalog):
+        outer = outer_join(catalog)
+        g = outer.schema
+        items = tuple((col(c.qualified_name), f"c{i}") for i, c in enumerate(g))
+        pgq = Project(GroupScan("g", g), items)
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        assert (
+            apply_rule_once(plan, rule_by_name("projection_before_gapply"), catalog)
+            is None
+        )
+
+
+class TestGApplyToGroupBy:
+    def test_figure4_pure_aggregation(self, catalog):
+        outer = outer_join(catalog)
+        pgq = GroupBy(
+            GroupScan("g", outer.schema),
+            (),
+            (count_star("n"), avg(col("p_retailprice"), "m")),
+        )
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        rewritten = apply_rule_once(plan, rule_by_name("gapply_to_groupby"), catalog)
+        assert isinstance(rewritten, GroupBy)
+        assert rewritten.keys == ("ps_suppkey",)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_extended_variant_with_inner_grouping(self, catalog):
+        outer = outer_join(catalog)
+        pgq = GroupBy(
+            GroupScan("g", outer.schema),
+            ("p_brand",),
+            (count_star("n"),),
+        )
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        rewritten = apply_rule_once(plan, rule_by_name("gapply_to_groupby"), catalog)
+        assert isinstance(rewritten, GroupBy)
+        assert rewritten.keys == ("ps_suppkey", "p_brand")
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_rename_wrapper_handled(self, catalog):
+        outer = outer_join(catalog)
+        grouped = GroupBy(
+            GroupScan("g", outer.schema), (), (count_star("n"),)
+        )
+        pgq = Project(grouped, ((col("n"), "total"),))
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        rewritten = apply_rule_once(plan, rule_by_name("gapply_to_groupby"), catalog)
+        assert isinstance(rewritten, Remap)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_non_aggregate_pgq_not_matched(self, catalog):
+        outer = outer_join(catalog)
+        pgq = Select(GroupScan("g", outer.schema), gt(col("p_retailprice"), lit(5.0)))
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        assert apply_rule_once(plan, rule_by_name("gapply_to_groupby"), catalog) is None
+
+
+class TestGroupSelection:
+    def exists_plan(self, catalog, threshold=40.0):
+        outer = outer_join(catalog)
+        g = outer.schema
+        pgq = Apply(
+            GroupScan("g", g),
+            Exists(Select(GroupScan("g", g), gt(col("p_retailprice"), lit(threshold)))),
+        )
+        return GApply(outer, ("ps_suppkey",), pgq, "g")
+
+    def test_figure5_6_rewrite_shape(self, catalog):
+        plan = self.exists_plan(catalog)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("exists_group_selection"), catalog
+        )
+        assert isinstance(rewritten, Join)
+        assert isinstance(rewritten.left, Alias)
+        assert isinstance(rewritten.left.child, Distinct)
+
+    def test_figure5_6_semantics(self, catalog):
+        plan = self.exists_plan(catalog)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("exists_group_selection"), catalog
+        )
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_empty_result_when_nothing_qualifies(self, catalog):
+        plan = self.exists_plan(catalog, threshold=1e9)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("exists_group_selection"), catalog
+        )
+        assert run_plan(plan_physical(rewritten, catalog)) == []
+
+    def aggregate_plan(self, catalog, threshold=20.0):
+        outer = outer_join(catalog)
+        g = outer.schema
+        test = Select(
+            GroupBy(GroupScan("g", g), (), (avg(col("p_retailprice"), "m"),)),
+            gt(col("m"), lit(threshold)),
+        )
+        pgq = Apply(GroupScan("g", g), Exists(test))
+        return GApply(outer, ("ps_suppkey",), pgq, "g")
+
+    def test_aggregate_selection_shape(self, catalog):
+        plan = self.aggregate_plan(catalog)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("aggregate_group_selection"), catalog
+        )
+        assert isinstance(rewritten, Join)
+        grouped = [n for n in rewritten.left.walk() if isinstance(n, GroupBy)]
+        assert grouped and grouped[0].keys == ("ps_suppkey",)
+
+    def test_aggregate_selection_semantics(self, catalog):
+        plan = self.aggregate_plan(catalog)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("aggregate_group_selection"), catalog
+        )
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_exists_rule_rejects_aggregate_pattern(self, catalog):
+        plan = self.aggregate_plan(catalog)
+        assert (
+            apply_rule_once(plan, rule_by_name("exists_group_selection"), catalog)
+            is None
+        )
+
+    def test_aggregate_rule_rejects_exists_pattern(self, catalog):
+        plan = self.exists_plan(catalog)
+        assert (
+            apply_rule_once(plan, rule_by_name("aggregate_group_selection"), catalog)
+            is None
+        )
+
+    def test_negated_exists_not_matched(self, catalog):
+        outer = outer_join(catalog)
+        g = outer.schema
+        pgq = Apply(
+            GroupScan("g", g),
+            Exists(
+                Select(GroupScan("g", g), gt(col("p_retailprice"), lit(1.0))),
+                negated=True,
+            ),
+        )
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        assert (
+            apply_rule_once(plan, rule_by_name("exists_group_selection"), catalog)
+            is None
+        )
+
+
+class TestInvariantGrouping:
+    def figure7_plan(self, catalog):
+        """Figure 7: supplier name and least expensive part per supplier."""
+        base = outer_join(catalog)
+        full = Join(
+            base,
+            TableScan.of(catalog.table("supplier")),
+            eq(col("ps_suppkey"), col("s_suppkey")),
+        )
+        g = full.schema
+        inner_min = GroupBy(
+            GroupScan("g", g), (), (min_(col("p_retailprice"), "m"),)
+        )
+        pgq = Project(
+            Select(
+                Apply(GroupScan("g", g), inner_min),
+                eq(col("p_retailprice"), col("m")),
+            ),
+            ((col("s_name"), "sname"), (col("p_name"), "pname")),
+        )
+        return GApply(full, ("ps_suppkey",), pgq, "g")
+
+    def test_figure7_fires_below_supplier_join(self, catalog):
+        plan = self.figure7_plan(catalog)
+        rewritten = apply_rule_once(plan, rule_by_name("invariant_grouping"), catalog)
+        assert rewritten is not None
+        # the GApply now sits below the supplier join
+        gapplies = [n for n in rewritten.walk() if isinstance(n, GApply)]
+        assert len(gapplies) == 1
+        assert not gapplies[0].outer.contains(TableScan) or all(
+            scan.table_name != "supplier"
+            for scan in gapplies[0].outer.walk()
+            if isinstance(scan, TableScan)
+        )
+
+    def test_figure7_semantics(self, catalog):
+        plan = self.figure7_plan(catalog)
+        rewritten = apply_rule_once(plan, rule_by_name("invariant_grouping"), catalog)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_requires_fk_join_above(self, catalog):
+        """A non-foreign-key join above the candidate blocks the rule."""
+        base = outer_join(catalog)
+        full = Join(
+            base,
+            TableScan.of(catalog.table("supplier")),
+            gt(col("ps_suppkey"), col("s_suppkey")),  # theta join, not FK
+        )
+        g = full.schema
+        pgq = Project(
+            Select(GroupScan("g", g), gt(col("p_retailprice"), lit(10.0))),
+            ((col("s_name"), "sname"),),
+        )
+        plan = GApply(full, ("ps_suppkey",), pgq, "g")
+        assert (
+            apply_rule_once(plan, rule_by_name("invariant_grouping"), catalog) is None
+        )
+
+
+class TestGenericAndCleanupRules:
+    def test_push_select_into_per_group(self, catalog):
+        outer = outer_join(catalog)
+        pgq = GroupBy(
+            GroupScan("g", outer.schema), ("p_brand",), (count_star("n"),)
+        )
+        plan = Select(
+            GApply(outer, ("ps_suppkey",), pgq, "g"), gt(col("n"), lit(1))
+        )
+        rewritten = apply_rule_once(
+            plan, rule_by_name("push_select_into_per_group"), catalog
+        )
+        assert isinstance(rewritten, GApply)
+        assert isinstance(rewritten.per_group, Select)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_push_select_blocked_for_key_columns(self, catalog):
+        outer = outer_join(catalog)
+        pgq = GroupBy(GroupScan("g", outer.schema), (), (count_star("n"),))
+        plan = Select(
+            GApply(outer, ("ps_suppkey",), pgq, "g"),
+            gt(col("ps_suppkey"), lit(100)),
+        )
+        assert (
+            apply_rule_once(plan, rule_by_name("push_select_into_per_group"), catalog)
+            is None
+        )
+
+    def test_push_project_into_per_group(self, catalog):
+        outer = outer_join(catalog)
+        pgq = GroupBy(
+            GroupScan("g", outer.schema),
+            (),
+            (count_star("n"), avg(col("p_retailprice"), "m")),
+        )
+        inner_plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        plan = Prune(inner_plan, ("partsupp.ps_suppkey", "n"))
+        rewritten = apply_rule_once(
+            plan, rule_by_name("push_project_into_per_group"), catalog
+        )
+        assert rewritten is not None
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_select_pushdown_through_join(self, catalog):
+        plan = Select(
+            Join(
+                TableScan.of(catalog.table("partsupp")),
+                TableScan.of(catalog.table("part")),
+                None,
+            ),
+            eq(col("ps_partkey"), col("p_partkey")),
+        )
+        rewritten = apply_rule_once(plan, rule_by_name("select_pushdown"), catalog)
+        assert isinstance(rewritten, Join)
+        assert rewritten.predicate is not None
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_select_pushdown_splits_sides(self, catalog):
+        plan = Select(
+            outer_join(catalog),
+            eq(col("p_brand"), lit("A")),
+        )
+        rewritten = apply_rule_once(plan, rule_by_name("select_pushdown"), catalog)
+        assert isinstance(rewritten, Join)
+        assert isinstance(rewritten.right, Select)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_collapse_project(self, catalog):
+        scan = TableScan.of(catalog.table("part"))
+        inner = Project(scan, ((col("p_name"), "n"), (col("p_retailprice"), "p")))
+        plan = Project(inner, ((col("p"), "price"),))
+        rewritten = apply_rule_once(plan, rule_by_name("collapse_project"), catalog)
+        assert isinstance(rewritten, Project)
+        assert isinstance(rewritten.child, TableScan)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_narrow_prune_under_groupby(self, catalog):
+        scan = TableScan.of(catalog.table("part"))
+        pruned = Prune(scan, tuple(scan.schema.qualified_names()))
+        plan = GroupBy(pruned, ("p_brand",), (count_star("n"),))
+        rewritten = apply_rule_once(plan, rule_by_name("narrow_prune"), catalog)
+        assert rewritten is not None
+        assert rewritten.child.references == ("part.p_brand",)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_rewrite_everywhere_applies_in_subtrees(self, catalog):
+        inner = Select(
+            Join(
+                TableScan.of(catalog.table("partsupp")),
+                TableScan.of(catalog.table("part")),
+                None,
+            ),
+            eq(col("ps_partkey"), col("p_partkey")),
+        )
+        plan = Distinct(inner)
+        rewrites = rewrite_everywhere(
+            plan, rule_by_name("select_pushdown"), RuleContext(catalog)
+        )
+        assert len(rewrites) == 1
+        assert isinstance(rewrites[0], Distinct)
+        assert isinstance(rewrites[0].child, Join)
+
+
+class TestProjectedGroupSelection:
+    """The projected variant of group selection: the per-group query
+    projects (constants + columns of) the whole group — the shape the XML
+    whole-subtree translation emits."""
+
+    def projected_plan(self, catalog, threshold=40.0):
+        from repro.algebra.expressions import lit as _lit
+
+        outer = outer_join(catalog)
+        g = outer.schema
+        passthrough = Apply(
+            GroupScan("g", g),
+            Exists(
+                Select(GroupScan("g", g), gt(col("p_retailprice"), lit(threshold)))
+            ),
+        )
+        pgq = Project(
+            passthrough,
+            (
+                (_lit(0), "branch"),
+                (col("p_name"), "p_name"),
+                (col("p_retailprice"), "p_retailprice"),
+            ),
+        )
+        return GApply(outer, ("ps_suppkey",), pgq, "g")
+
+    def test_fires_and_preserves_semantics(self, catalog):
+        plan = self.projected_plan(catalog)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("exists_group_selection"), catalog
+        )
+        assert rewritten is not None
+        assert not rewritten.contains(GApply)
+        assert_equivalent(catalog, plan, rewritten)
+
+    def test_empty_when_nothing_qualifies(self, catalog):
+        plan = self.projected_plan(catalog, threshold=1e9)
+        rewritten = apply_rule_once(
+            plan, rule_by_name("exists_group_selection"), catalog
+        )
+        from repro.execution.base import run_plan as _run
+
+        assert _run(plan_physical(rewritten, catalog)) == []
+
+    def test_projection_with_non_trivial_expression_rejected(self, catalog):
+        from repro.algebra.expressions import Arithmetic, ArithmeticOp, lit as _lit
+
+        outer = outer_join(catalog)
+        g = outer.schema
+        passthrough = Apply(
+            GroupScan("g", g),
+            Exists(Select(GroupScan("g", g), gt(col("p_retailprice"), _lit(1.0)))),
+        )
+        pgq = Project(
+            passthrough,
+            ((Arithmetic(ArithmeticOp.MUL, col("p_retailprice"), _lit(2.0)), "x"),),
+        )
+        plan = GApply(outer, ("ps_suppkey",), pgq, "g")
+        assert (
+            apply_rule_once(plan, rule_by_name("exists_group_selection"), catalog)
+            is None
+        )
+
+    def test_fires_on_translated_xml_pipeline_plan(self, catalog):
+        """End to end: the whole-subtree XQuery translation's gapply SQL is
+        rewritten by the rule after traditional normalization."""
+        from repro.bench.harness import bind, optimize_with, traditional_rules
+
+        catalog.register(
+            __import__("repro.storage", fromlist=["table_from_rows"]).table_from_rows(
+                "supplier2", [("x", __import__("repro.storage", fromlist=["DataType"]).DataType.INTEGER)], []
+            ),
+            replace=True,
+        )
+        sql = (
+            "select gapply(select 0 as branch, p_name, p_retailprice from g "
+            "where exists (select ps_suppkey from g where p_retailprice > 40)) "
+            "from partsupp, part where ps_partkey = p_partkey "
+            "group by ps_suppkey : g"
+        )
+        normalized = optimize_with(catalog, bind(catalog, sql), traditional_rules())
+        rewritten = apply_rule_once(
+            normalized, rule_by_name("exists_group_selection"), catalog
+        )
+        assert rewritten is not None
+        assert_equivalent(catalog, normalized, rewritten)

@@ -1,0 +1,101 @@
+"""Property-based tests for the constant-space tagger.
+
+Invariants: well-formed (balanced) documents for arbitrary clustered row
+streams; group count equals distinct key count; text is always escaped.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.types import grouping_key
+from repro.xmlpub.tagger import (
+    ConstantSpaceTagger,
+    KeyItem,
+    RowsBranch,
+    ScalarBranch,
+    TaggerSpec,
+)
+
+SPEC = TaggerSpec(
+    root_tag="doc",
+    group_tag="grp",
+    key_count=1,
+    key_items=(KeyItem("id", 0),),
+    branches=(
+        RowsBranch(0, "items", "item", (("a", 0), ("b", 1))),
+        ScalarBranch(1, "total", 0),
+        RowsBranch(2, None, "bare", (("c", 1),)),
+    ),
+)
+
+payload = st.one_of(
+    st.none(),
+    st.integers(min_value=-9, max_value=9),
+    st.text(alphabet="x<&>'\"", max_size=4),
+)
+
+
+@st.composite
+def clustered_rows(draw):
+    """Rows clustered by key with branch ids ascending within each group."""
+    rows = []
+    key_count = draw(st.integers(min_value=0, max_value=6))
+    for key in range(key_count):
+        branches = sorted(
+            draw(st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=5))
+        )
+        for branch in branches:
+            rows.append((key, branch, draw(payload), draw(payload)))
+    return rows
+
+
+def tags_balanced(xml: str) -> bool:
+    stack = []
+    for match in re.finditer(r"<(/?)([a-zA-Z_][\w.-]*)>", xml):
+        closing, tag = match.groups()
+        if closing:
+            if not stack or stack[-1] != tag:
+                return False
+            stack.pop()
+        else:
+            stack.append(tag)
+    return not stack
+
+
+class TestTaggerInvariants:
+    @given(rows=clustered_rows())
+    @settings(max_examples=80, deadline=None)
+    def test_document_is_balanced(self, rows):
+        xml = ConstantSpaceTagger(SPEC).tag_to_string(rows)
+        assert tags_balanced(xml)
+
+    @given(rows=clustered_rows())
+    @settings(max_examples=80, deadline=None)
+    def test_group_count_matches_distinct_keys(self, rows):
+        xml = ConstantSpaceTagger(SPEC).tag_to_string(rows)
+        distinct = len({grouping_key((row[0],)) for row in rows})
+        assert xml.count("<grp>") == distinct
+        assert xml.count("</grp>") == distinct
+
+    @given(rows=clustered_rows())
+    @settings(max_examples=80, deadline=None)
+    def test_no_raw_angle_brackets_in_text(self, rows):
+        xml = ConstantSpaceTagger(SPEC).tag_to_string(rows)
+        # strip all tags; remaining text must not contain raw < or >
+        text = re.sub(r"<[^>]*>", "\x00", xml)
+        assert "<" not in text and ">" not in text
+
+    @given(rows=clustered_rows())
+    @settings(max_examples=40, deadline=None)
+    def test_row_elements_preserved(self, rows):
+        xml = ConstantSpaceTagger(SPEC).tag_to_string(rows)
+        expected_items = sum(1 for row in rows if row[1] == 0)
+        assert xml.count("<item>") == expected_items
+
+    @given(rows=clustered_rows())
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_batch(self, rows):
+        tagger = ConstantSpaceTagger(SPEC)
+        assert "".join(tagger.tag(rows)) == tagger.tag_to_string(rows)

@@ -1,0 +1,134 @@
+"""Property-based tests: Kleene-logic laws of the expression evaluator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.storage.schema import Schema
+from repro.storage.types import TruthValue, compare_values
+
+tv = st.sampled_from([True, False, None])
+EMPTY = Schema(())
+
+
+def boolean(value):
+    return Literal(value)
+
+
+def evaluate(expression):
+    return expression.compile(EMPTY)((), None)
+
+
+class TestKleeneLaws:
+    @given(a=tv, b=tv)
+    def test_and_commutative(self, a, b):
+        assert evaluate(And(boolean(a), boolean(b))) == evaluate(
+            And(boolean(b), boolean(a))
+        )
+
+    @given(a=tv, b=tv)
+    def test_or_commutative(self, a, b):
+        assert evaluate(Or(boolean(a), boolean(b))) == evaluate(
+            Or(boolean(b), boolean(a))
+        )
+
+    @given(a=tv, b=tv, c=tv)
+    def test_and_associative(self, a, b, c):
+        left = And(And(boolean(a), boolean(b)), boolean(c))
+        right = And(boolean(a), And(boolean(b), boolean(c)))
+        assert evaluate(left) == evaluate(right)
+
+    @given(a=tv, b=tv, c=tv)
+    def test_de_morgan(self, a, b, c):
+        lhs = Not(And(boolean(a), boolean(b)))
+        rhs = Or(Not(boolean(a)), Not(boolean(b)))
+        assert evaluate(lhs) == evaluate(rhs)
+
+    @given(a=tv)
+    def test_double_negation(self, a):
+        assert evaluate(Not(Not(boolean(a)))) == a
+
+    @given(a=tv)
+    def test_excluded_middle_fails_only_for_null(self, a):
+        value = evaluate(Or(boolean(a), Not(boolean(a))))
+        if a is None:
+            assert value is None
+        else:
+            assert value is True
+
+    @given(a=tv, b=tv)
+    def test_matches_truthvalue_tables(self, a, b):
+        expected = TruthValue.of(a).and_(TruthValue.of(b)).to_sql()
+        assert evaluate(And(boolean(a), boolean(b))) == expected
+        expected = TruthValue.of(a).or_(TruthValue.of(b)).to_sql()
+        assert evaluate(Or(boolean(a), boolean(b))) == expected
+
+
+numbers = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+
+
+class TestComparisonLaws:
+    @given(a=numbers, b=numbers)
+    def test_null_never_compares(self, a, b):
+        result = evaluate(
+            Comparison(ComparisonOp.EQ, Literal(a), Literal(b))
+        )
+        if a is None or b is None:
+            assert result is None
+        else:
+            assert result == (a == b)
+
+    @given(a=numbers, b=numbers)
+    def test_eq_ne_complementary_when_known(self, a, b):
+        eq_result = evaluate(Comparison(ComparisonOp.EQ, Literal(a), Literal(b)))
+        ne_result = evaluate(Comparison(ComparisonOp.NE, Literal(a), Literal(b)))
+        if eq_result is None:
+            assert ne_result is None
+        else:
+            assert eq_result != ne_result
+
+    @given(a=numbers, b=numbers)
+    def test_trichotomy_when_known(self, a, b):
+        lt = evaluate(Comparison(ComparisonOp.LT, Literal(a), Literal(b)))
+        eq = evaluate(Comparison(ComparisonOp.EQ, Literal(a), Literal(b)))
+        gt = evaluate(Comparison(ComparisonOp.GT, Literal(a), Literal(b)))
+        if None in (lt, eq, gt):
+            assert lt is None and eq is None and gt is None
+        else:
+            assert [lt, eq, gt].count(True) == 1
+
+    @given(a=numbers, b=numbers, c=numbers)
+    def test_compare_values_transitive(self, a, b, c):
+        ab = compare_values(a, b)
+        bc = compare_values(b, c)
+        ac = compare_values(a, c)
+        if ab == -1 and bc == -1:
+            assert ac == -1
+
+    @given(a=numbers)
+    def test_is_null_total(self, a):
+        assert evaluate(IsNull(Literal(a))) == (a is None)
+        assert evaluate(IsNull(Literal(a), negated=True)) == (a is not None)
+
+    @given(a=numbers, items=st.lists(numbers, max_size=4))
+    def test_in_list_matches_disjunction(self, a, items):
+        in_result = evaluate(InList(Literal(a), tuple(Literal(i) for i in items)))
+        if not items:
+            disjunction = False if a is not None else None
+        else:
+            disjunction = evaluate(
+                Or(*[Comparison(ComparisonOp.EQ, Literal(a), Literal(i)) for i in items])
+            )
+        if a is None:
+            assert in_result is None
+        else:
+            assert in_result == disjunction

@@ -1,0 +1,173 @@
+"""SQL dialect edge cases executed end to end."""
+
+import pytest
+
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db(parts_db):
+    return parts_db
+
+
+class TestUnionSemantics:
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.sql(
+            "select p_brand from part where p_partkey <= 2 "
+            "union all select p_brand from part where p_partkey <= 2"
+        )
+        assert len(result) == 4
+
+    def test_union_distinct_deduplicates(self, db):
+        result = db.sql(
+            "select p_brand from part union select p_brand from part"
+        )
+        assert sorted(result.rows) == [("A",), ("B",)]
+
+    def test_union_aligns_by_position(self, db):
+        result = db.sql(
+            "select p_partkey, p_name from part where p_partkey = 1 "
+            "union all select s_suppkey, s_name from supplier where s_suppkey = 100"
+        )
+        assert sorted(result.rows) == [(1, "part1"), (100, "supp0")]
+
+    def test_three_branch_union_with_order(self, db):
+        result = db.sql(
+            "select p_partkey from part where p_partkey = 3 "
+            "union all select p_partkey from part where p_partkey = 1 "
+            "union all select p_partkey from part where p_partkey = 2 "
+            "order by p_partkey"
+        )
+        assert result.rows == [(1,), (2,), (3,)]
+
+
+class TestStringsAndLiterals:
+    def test_string_escape(self, db):
+        db.create_table("notes", [("txt", DataType.STRING)], [("it's",)])
+        result = db.sql("select txt from notes where txt = 'it''s'")
+        assert result.rows == [("it's",)]
+
+    def test_comments_ignored(self, db):
+        result = db.sql(
+            "select count(*) -- trailing comment\nfrom part -- another"
+        )
+        assert result.rows == [(12,)]
+
+    def test_negative_literals(self, db):
+        result = db.sql("select p_partkey from part where p_partkey > -1 and p_partkey < 2")
+        assert result.rows == [(1,)]
+
+    def test_float_arithmetic(self, db):
+        result = db.sql("select 1.5 * 2 from part where p_partkey = 1")
+        assert result.rows == [(3.0,)]
+
+    def test_boolean_literals(self, db):
+        result = db.sql("select true, false from part where p_partkey = 1")
+        assert result.rows == [(True, False)]
+
+
+class TestScalarFunctions:
+    def test_concat_upper(self, db):
+        result = db.sql(
+            "select upper(concat(p_name, '!')) from part where p_partkey = 1"
+        )
+        assert result.rows == [("PART1!",)]
+
+    def test_substring(self, db):
+        result = db.sql(
+            "select substring(p_name, 1, 4) from part where p_partkey = 10"
+        )
+        assert result.rows == [("part",)]
+
+    def test_coalesce_with_null(self, db):
+        db.create_table("sparse", [("v", DataType.INTEGER)], [(None,), (3,)])
+        result = db.sql("select coalesce(v, -1) from sparse order by v")
+        assert result.rows == [(-1,), (3,)]
+
+
+class TestDerivedTables:
+    def test_nested_derived_tables(self, db):
+        result = db.sql(
+            "select n from (select m as n from "
+            "(select count(*) as m from part) as inner1) as outer1"
+        )
+        assert result.rows == [(12,)]
+
+    def test_derived_with_aggregate_then_filter(self, db):
+        result = db.sql(
+            "select b, n from (select p_brand, count(*) from part "
+            "group by p_brand) as t(b, n) where n > 5 order by b"
+        )
+        assert result.rows == [("A", 6), ("B", 6)]
+
+    def test_join_derived_with_base(self, db):
+        result = db.sql(
+            "select count(*) from part, "
+            "(select avg(p_retailprice) from part) as a(m) "
+            "where p_retailprice > a.m"
+        )
+        assert result.rows == [(6,)]
+
+
+class TestGApplyVariants:
+    def test_multi_column_grouping(self, db):
+        result = db.sql(
+            "select gapply(select count(*) from g) as (n) "
+            "from partsupp, part where ps_partkey = p_partkey "
+            "group by ps_suppkey, p_brand : g"
+        )
+        # 3 suppliers x 2 brands
+        assert len(result) == 6
+        assert sum(row[2] for row in result.rows) == 12
+
+    def test_gapply_over_single_table(self, db):
+        result = db.sql(
+            "select gapply(select max(p_retailprice) from g) as (top) "
+            "from part group by p_brand : g"
+        )
+        out = dict(result.rows)
+        assert out["A"] == 120.0  # even parts; part12
+        assert out["B"] == 110.0
+
+    def test_gapply_with_exists_in_pgq(self, db):
+        result = db.sql(
+            "select gapply(select * from g where exists "
+            "(select p_partkey from g where p_retailprice > 110)) "
+            "from partsupp, part where ps_partkey = p_partkey "
+            "group by ps_suppkey : g"
+        )
+        # only supplier 100 (part 12 @ 120) qualifies; whole group returned
+        assert {row[0] for row in result.rows} == {100}
+        assert len(result) == 4
+
+    def test_gapply_group_over_filtered_outer(self, db):
+        result = db.sql(
+            "select gapply(select count(*) from g) as (n) "
+            "from partsupp, part "
+            "where ps_partkey = p_partkey and p_brand = 'A' "
+            "group by ps_suppkey : g"
+        )
+        assert sum(row[1] for row in result.rows) == 6
+
+    def test_gapply_ordering_of_output(self, db):
+        result = db.sql(
+            "select gapply(select count(*) from g) as (n) "
+            "from partsupp, part where ps_partkey = p_partkey "
+            "group by ps_suppkey : g "
+            "order by ps_suppkey"
+        )
+        keys = [row[0] for row in result.rows]
+        assert keys == sorted(keys)
+
+
+class TestCrossJoins:
+    def test_explicit_cross_join(self, db):
+        result = db.sql("select count(*) from supplier cross join supplier s2")
+        assert result.rows == [(9,)]
+
+    def test_comma_cross_join(self, db):
+        result = db.sql(
+            "select count(*) from supplier, supplier s2 "
+            "where supplier.s_suppkey < s2.s_suppkey"
+        )
+        assert result.rows == [(3,)]

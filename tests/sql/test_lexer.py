@@ -1,0 +1,106 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        tokens = kinds("SELECT From WHERE")
+        assert tokens == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.KEYWORD, "from"),
+            (TokenType.KEYWORD, "where"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("tmpSupp")[0] == (TokenType.IDENT, "tmpSupp")
+
+    def test_gapply_is_keyword(self):
+        assert kinds("gapply")[0] == (TokenType.KEYWORD, "gapply")
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("select")[-1].type is TokenType.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+
+    def test_float(self):
+        assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+
+    def test_scientific(self):
+        assert kinds("1e3")[0] == (TokenType.NUMBER, "1e3")
+        assert kinds("2.5E-2")[0] == (TokenType.NUMBER, "2.5E-2")
+
+    def test_leading_dot(self):
+        assert kinds(".5")[0] == (TokenType.NUMBER, ".5")
+
+    def test_number_dot_identifier_not_confused(self):
+        # "t1.c" style qualifier after a digit-containing alias
+        tokens = kinds("ps1.ps_suppkey")
+        assert tokens == [
+            (TokenType.IDENT, "ps1"),
+            (TokenType.SYMBOL, "."),
+            (TokenType.IDENT, "ps_suppkey"),
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'")[0] == (TokenType.STRING, "hello")
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'")[0] == (TokenType.STRING, "it's")
+
+    def test_unterminated(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+
+class TestSymbols:
+    def test_multichar_first(self):
+        assert kinds("<=")[0] == (TokenType.SYMBOL, "<=")
+        assert kinds("<>")[0] == (TokenType.SYMBOL, "<>")
+        assert kinds("!=")[0] == (TokenType.SYMBOL, "!=")
+
+    def test_group_variable_colon(self):
+        tokens = kinds("group by k : x")
+        assert (TokenType.SYMBOL, ":") in tokens
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("select @")
+        assert excinfo.value.line == 1
+
+
+class TestCommentsAndLocations:
+    def test_line_comments_skipped(self):
+        tokens = kinds("select -- comment here\n 1")
+        assert tokens == [(TokenType.KEYWORD, "select"), (TokenType.NUMBER, "1")]
+
+    def test_comment_at_end(self):
+        assert kinds("select 1 -- done") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("select\n  x")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_token_helpers(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("select")
+        assert not token.is_keyword("from")
+        assert not token.is_symbol("(")

@@ -1,0 +1,242 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast as A
+from repro.sql.parser import parse
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        query = parse("select a, b from t")
+        select = query.single
+        assert len(select.items) == 2
+        assert isinstance(select.from_items[0], A.AstTableRef)
+
+    def test_star(self):
+        select = parse("select * from t").single
+        assert isinstance(select.items[0].expression, A.AstStar)
+
+    def test_qualified_star(self):
+        select = parse("select t.* from t").single
+        assert select.items[0].expression == A.AstStar("t")
+
+    def test_aliases(self):
+        select = parse("select a as x, b y from t").single
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse("select distinct a from t").single.distinct
+
+    def test_table_alias(self):
+        select = parse("select a from t as u").single
+        assert select.from_items[0] == A.AstTableRef("t", "u")
+        select = parse("select a from t u").single
+        assert select.from_items[0] == A.AstTableRef("t", "u")
+
+    def test_comma_join(self):
+        select = parse("select a from t, s").single
+        assert len(select.from_items) == 2
+
+    def test_explicit_join(self):
+        select = parse("select a from t join s on t.x = s.y").single
+        assert isinstance(select.from_items[0], A.AstJoin)
+
+    def test_derived_table(self):
+        select = parse("select a from (select b from t) as d(a)").single
+        derived = select.from_items[0]
+        assert isinstance(derived, A.AstDerivedTable)
+        assert derived.alias == "d"
+        assert derived.column_names == ("a",)
+
+
+class TestClauses:
+    def test_where(self):
+        select = parse("select a from t where a > 1 and b = 'x'").single
+        assert isinstance(select.where, A.AstBinary)
+        assert select.where.op == "and"
+
+    def test_group_by_and_having(self):
+        select = parse(
+            "select a, count(*) from t group by a having count(*) > 2"
+        ).single
+        assert select.group_by == ("a",)
+        assert select.having is not None
+
+    def test_group_variable_extension(self):
+        select = parse(
+            "select gapply(select x from g) from t group by a, b : g"
+        ).single
+        assert select.group_by == ("a", "b")
+        assert select.group_variable == "g"
+
+    def test_order_by(self):
+        query = parse("select a from t order by a desc, b asc, c")
+        assert query.order_by == (("a", False), ("b", True), ("c", True))
+
+    def test_limit(self):
+        assert parse("select a from t limit 5").limit == 5
+
+    def test_union_all_chain(self):
+        query = parse("select a from t union all select a from s union all select a from u")
+        assert len(query.selects) == 3
+        assert query.union_all
+
+    def test_union_distinct(self):
+        query = parse("select a from t union select a from s")
+        assert not query.union_all
+
+
+class TestGApplySyntax:
+    def test_paper_q1_shape(self):
+        query = parse(
+            """
+            select gapply(
+                select p_name, p_retailprice, null from tmpSupp
+                union all
+                select null, null, avg(p_retailprice) from tmpSupp
+            ) as (name, price, avgprice)
+            from partsupp, part
+            where ps_partkey = p_partkey
+            group by ps_suppkey : tmpSupp
+            """
+        )
+        select = query.single
+        assert select.gapply is not None
+        assert select.gapply.column_names == ("name", "price", "avgprice")
+        assert len(select.gapply.query.selects) == 2
+        assert select.group_variable == "tmpSupp"
+
+    def test_gapply_without_as(self):
+        select = parse(
+            "select gapply(select count(*) from g) from t group by k : g"
+        ).single
+        assert select.gapply is not None
+        assert select.gapply.column_names == ()
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse(f"select {text} from t").single.items[0].expression
+
+    def test_precedence_arithmetic_over_comparison(self):
+        node = self.expr("a + b * 2 > 5")
+        assert isinstance(node, A.AstBinary) and node.op == ">"
+        left = node.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        node = self.expr("a or b and c")
+        assert node.op == "or"
+        assert node.right.op == "and"
+
+    def test_not(self):
+        node = self.expr("not a = 1")
+        assert isinstance(node, A.AstUnary) and node.op == "not"
+
+    def test_parentheses(self):
+        node = self.expr("(a + b) * c")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_unary_minus(self):
+        node = self.expr("-a")
+        assert isinstance(node, A.AstUnary) and node.op == "-"
+
+    def test_literals(self):
+        assert self.expr("null") == A.AstLiteral(None)
+        assert self.expr("true") == A.AstLiteral(True)
+        assert self.expr("3.5") == A.AstLiteral(3.5)
+        assert self.expr("'s'") == A.AstLiteral("s")
+
+    def test_is_null(self):
+        assert self.expr("a is null") == A.AstIsNull(A.AstColumn("a"))
+        assert self.expr("a is not null") == A.AstIsNull(A.AstColumn("a"), True)
+
+    def test_between(self):
+        node = self.expr("a between 1 and 2")
+        assert isinstance(node, A.AstBetween)
+        node = self.expr("a not between 1 and 2")
+        assert node.negated
+
+    def test_in_list(self):
+        node = self.expr("a in (1, 2, 3)")
+        assert isinstance(node, A.AstInList)
+        assert len(node.items) == 3
+        assert self.expr("a not in (1)").negated
+
+    def test_case_when(self):
+        node = self.expr("case when a > 1 then 'big' else 'small' end")
+        assert isinstance(node, A.AstCase)
+        assert node.default == A.AstLiteral("small")
+
+    def test_count_star(self):
+        node = self.expr("count(*)")
+        assert node == A.AstFunction("count", (), star=True)
+
+    def test_count_distinct(self):
+        node = self.expr("count(distinct a)")
+        assert node.distinct
+
+    def test_scalar_function(self):
+        node = self.expr("concat(a, 'x')")
+        assert isinstance(node, A.AstFunction)
+        assert len(node.args) == 2
+
+    def test_ne_spellings(self):
+        assert self.expr("a <> 1").op == "<>"
+        assert self.expr("a != 1").op == "<>"
+
+
+class TestSubqueries:
+    def test_exists(self):
+        select = parse("select a from t where exists (select 1 from s)").single
+        assert isinstance(select.where, A.AstExists)
+
+    def test_not_exists(self):
+        select = parse("select a from t where not exists (select 1 from s)").single
+        assert isinstance(select.where, A.AstUnary)
+
+    def test_in_subquery(self):
+        select = parse("select a from t where a in (select b from s)").single
+        assert isinstance(select.where, A.AstInSubquery)
+
+    def test_scalar_subquery(self):
+        select = parse("select a from t where a > (select avg(b) from s)").single
+        assert isinstance(select.where.right, A.AstScalarSubquery)
+
+    def test_scalar_subquery_in_select_list(self):
+        select = parse("select (select max(b) from s) from t").single
+        assert isinstance(select.items[0].expression, A.AstScalarSubquery)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "select",
+            "select a",  # missing FROM
+            "select a from",
+            "select a from t where",
+            "select a from t group by",
+            "select a from t order by",
+            "select gapply(select 1 from g as (x) from t group by k : g",
+            "select a from t limit x",
+            "select case when a then 1 from t",
+            "select a from t where a = 1 2",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(SqlSyntaxError):
+            parse(text)
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select case else 1 end from t")
+
+    def test_distinct_scalar_function_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select upper(distinct a) from t")

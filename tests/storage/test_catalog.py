@@ -1,0 +1,131 @@
+"""Unit tests for the catalog: tables, constraints, statistics cache."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError
+from repro.storage.catalog import Catalog
+from repro.storage.table import table_from_rows
+from repro.storage.types import DataType
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register(
+        table_from_rows(
+            "parent", [("id", DataType.INTEGER)], [(1,), (2,)], primary_key=["id"]
+        )
+    )
+    catalog.register(
+        table_from_rows(
+            "child",
+            [("cid", DataType.INTEGER), ("parent_id", DataType.INTEGER)],
+            [(10, 1), (11, 2), (12, None)],
+            primary_key=["cid"],
+        )
+    )
+    return catalog
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        catalog = build_catalog()
+        assert catalog.table("parent").name == "parent"
+        assert catalog.has_table("CHILD")  # case-insensitive
+
+    def test_double_register_rejected(self):
+        catalog = build_catalog()
+        with pytest.raises(CatalogError):
+            catalog.register(table_from_rows("parent", [("x", DataType.INTEGER)], []))
+
+    def test_replace(self):
+        catalog = build_catalog()
+        catalog.register(
+            table_from_rows("parent", [("x", DataType.INTEGER)], []), replace=True
+        )
+        assert catalog.table("parent").schema.names() == ["x"]
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            build_catalog().table("missing")
+
+    def test_drop(self):
+        catalog = build_catalog()
+        catalog.drop("child")
+        assert not catalog.has_table("child")
+        with pytest.raises(CatalogError):
+            catalog.drop("child")
+
+    def test_table_names_sorted(self):
+        assert build_catalog().table_names() == ["child", "parent"]
+
+    def test_contains(self):
+        assert "parent" in build_catalog()
+
+
+class TestForeignKeys:
+    def test_declare_and_find(self):
+        catalog = build_catalog()
+        catalog.add_foreign_key("child", ["parent_id"], "parent", ["id"])
+        fk = catalog.find_foreign_key("child", ["parent_id"], "parent", ["id"])
+        assert fk is not None
+        assert fk.child_table == "child"
+
+    def test_find_missing(self):
+        catalog = build_catalog()
+        assert catalog.find_foreign_key("child", ["cid"], "parent", ["id"]) is None
+
+    def test_declare_unknown_column(self):
+        catalog = build_catalog()
+        with pytest.raises(Exception):
+            catalog.add_foreign_key("child", ["nope"], "parent", ["id"])
+
+    def test_validation_passes_with_nulls(self):
+        catalog = build_catalog()
+        catalog.add_foreign_key("child", ["parent_id"], "parent", ["id"])
+        catalog.validate_constraints()  # NULL parent_id is exempt
+
+    def test_validation_detects_orphan(self):
+        catalog = build_catalog()
+        catalog.add_foreign_key("child", ["parent_id"], "parent", ["id"])
+        catalog.table("child").insert((13, 999))
+        with pytest.raises(ConstraintError):
+            catalog.validate_constraints()
+
+    def test_drop_removes_fks(self):
+        catalog = build_catalog()
+        catalog.add_foreign_key("child", ["parent_id"], "parent", ["id"])
+        catalog.drop("parent")
+        assert catalog.foreign_keys() == ()
+
+    def test_is_primary_key(self):
+        catalog = build_catalog()
+        assert catalog.is_primary_key("parent", ["id"])
+        assert not catalog.is_primary_key("child", ["parent_id"])
+
+
+class TestStatisticsCache:
+    def test_statistics_computed_and_cached(self):
+        catalog = build_catalog()
+        first = catalog.statistics("parent")
+        assert first is catalog.statistics("parent")
+
+    def test_invalidate_one(self):
+        catalog = build_catalog()
+        first = catalog.statistics("parent")
+        catalog.invalidate_statistics("parent")
+        assert first is not catalog.statistics("parent")
+
+    def test_invalidate_all(self):
+        catalog = build_catalog()
+        first = catalog.statistics("child")
+        catalog.invalidate_statistics()
+        assert first is not catalog.statistics("child")
+
+    def test_register_invalidates(self):
+        catalog = build_catalog()
+        catalog.statistics("parent")
+        catalog.register(
+            table_from_rows("parent", [("id", DataType.INTEGER)], [(9,)]),
+            replace=True,
+        )
+        assert catalog.statistics("parent").row_count == 1

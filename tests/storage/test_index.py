@@ -1,0 +1,101 @@
+"""Unit tests for secondary indexes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.table import table_from_rows
+from repro.storage.types import DataType
+
+
+def indexed_table():
+    table = table_from_rows(
+        "t",
+        [("k", DataType.INTEGER), ("grp", DataType.INTEGER), ("v", DataType.FLOAT)],
+        [(i, i % 3, float(i)) for i in range(12)],
+    )
+    return table
+
+
+class TestEqualityLookup:
+    def test_lookup_matches(self):
+        table = indexed_table()
+        index = table.create_index(["grp"])
+        assert {row[0] for row in index.lookup((1,))} == {1, 4, 7, 10}
+
+    def test_lookup_miss(self):
+        index = indexed_table().create_index(["grp"])
+        assert index.lookup((99,)) == []
+
+    def test_null_probe_matches_nothing(self):
+        index = indexed_table().create_index(["grp"])
+        assert index.lookup((None,)) == []
+
+    def test_null_values_not_indexed(self):
+        table = table_from_rows(
+            "t", [("a", DataType.INTEGER)], [(1,), (None,), (1,)]
+        )
+        index = table.create_index(["a"])
+        assert len(index.lookup((1,))) == 2
+
+    def test_multi_column_index(self):
+        table = indexed_table()
+        index = table.create_index(["grp", "k"])
+        assert index.lookup((1, 4)) == [(4, 1, 4.0)]
+        assert index.lookup((1, 5)) == []
+
+
+class TestRangeScan:
+    def test_closed_range(self):
+        index = indexed_table().create_index(["v"])
+        values = [row[2] for row in index.range_scan(3.0, 6.0)]
+        assert values == [3.0, 4.0, 5.0, 6.0]
+
+    def test_open_bounds(self):
+        index = indexed_table().create_index(["v"])
+        assert len(list(index.range_scan(None, 2.0))) == 3
+        assert len(list(index.range_scan(9.0, None))) == 3
+        assert len(list(index.range_scan(None, None))) == 12
+
+    def test_exclusive_bounds(self):
+        index = indexed_table().create_index(["v"])
+        values = [
+            row[2]
+            for row in index.range_scan(3.0, 6.0, low_inclusive=False, high_inclusive=False)
+        ]
+        assert values == [4.0, 5.0]
+
+    def test_range_requires_single_column(self):
+        index = indexed_table().create_index(["grp", "k"])
+        with pytest.raises(SchemaError):
+            list(index.range_scan(0, 1))
+
+
+class TestMaintenance:
+    def test_insert_invalidates(self):
+        table = indexed_table()
+        index = table.create_index(["grp"])
+        before = len(index.lookup((0,)))
+        table.insert((100, 0, 100.0))
+        assert len(index.lookup((0,))) == before + 1
+
+    def test_clear_invalidates(self):
+        table = indexed_table()
+        index = table.create_index(["grp"])
+        index.lookup((0,))
+        table.clear()
+        assert index.lookup((0,)) == []
+
+    def test_create_index_idempotent(self):
+        table = indexed_table()
+        assert table.create_index(["grp"]) is table.create_index(["grp"])
+
+    def test_index_on_any_order(self):
+        table = indexed_table()
+        created = table.create_index(["grp", "k"])
+        assert table.index_on(["k", "grp"]) is created
+        assert table.index_on(["v"]) is None
+        assert table.index_on(["missing"]) is None
+
+    def test_distinct_key_count(self):
+        index = indexed_table().create_index(["grp"])
+        assert index.distinct_key_count() == 3

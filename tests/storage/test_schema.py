@@ -1,0 +1,137 @@
+"""Unit tests for Schema and Column resolution."""
+
+import pytest
+
+from repro.errors import AmbiguousColumnError, SchemaError, UnknownColumnError
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+
+def make_schema() -> Schema:
+    return Schema(
+        (
+            Column("p_partkey", DataType.INTEGER, "part"),
+            Column("p_name", DataType.STRING, "part"),
+            Column("s_name", DataType.STRING, "supplier"),
+        )
+    )
+
+
+class TestColumn:
+    def test_qualified_name(self):
+        assert Column("a", qualifier="t").qualified_name == "t.a"
+        assert Column("a").qualified_name == "a"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_dot_in_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("t.a")
+
+    def test_matches_bare_and_qualified(self):
+        column = Column("a", qualifier="t")
+        assert column.matches("a")
+        assert column.matches("t.a")
+        assert not column.matches("u.a")
+        assert not column.matches("b")
+
+    def test_with_qualifier(self):
+        assert Column("a", qualifier="t").with_qualifier("u").qualified_name == "u.a"
+
+
+class TestResolution:
+    def test_bare_resolution(self):
+        schema = make_schema()
+        assert schema.index_of("p_name") == 1
+
+    def test_qualified_resolution(self):
+        schema = make_schema()
+        assert schema.index_of("part.p_partkey") == 0
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema().index_of("nope")
+
+    def test_ambiguous_bare_name(self):
+        schema = Schema(
+            (Column("name", qualifier="a"), Column("name", qualifier="b"))
+        )
+        with pytest.raises(AmbiguousColumnError):
+            schema.index_of("name")
+        # qualified access still works
+        assert schema.index_of("a.name") == 0
+        assert schema.index_of("b.name") == 1
+
+    def test_duplicate_qualified_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("a", qualifier="t"), Column("a", qualifier="t")))
+
+    def test_has(self):
+        schema = make_schema()
+        assert schema.has("p_name")
+        assert schema.has("supplier.s_name")
+        assert not schema.has("x")
+
+    def test_has_true_for_ambiguous(self):
+        schema = Schema(
+            (Column("name", qualifier="a"), Column("name", qualifier="b"))
+        )
+        assert schema.has("name")
+
+    def test_resolution_cached(self):
+        schema = make_schema()
+        assert schema.index_of("p_name") == schema.index_of("p_name")
+
+
+class TestCombinators:
+    def test_qualify(self):
+        schema = make_schema().qualify("x")
+        assert schema.qualified_names() == ["x.p_partkey", "x.p_name", "x.s_name"]
+
+    def test_concat(self):
+        left = Schema((Column("a", qualifier="l"),))
+        right = Schema((Column("a", qualifier="r"), Column("b")))
+        combined = left.concat(right)
+        assert len(combined) == 3
+        assert combined.index_of("l.a") == 0
+        assert combined.index_of("r.a") == 1
+
+    def test_concat_collision(self):
+        left = Schema((Column("a", qualifier="t"),))
+        with pytest.raises(SchemaError):
+            left.concat(left)
+
+    def test_project_preserves_columns(self):
+        schema = make_schema().project(["s_name", "p_name"])
+        assert schema.qualified_names() == ["supplier.s_name", "part.p_name"]
+
+    def test_rename(self):
+        schema = make_schema().rename(["x", "y", "z"])
+        assert schema.names() == ["x", "y", "z"]
+        assert schema[0].qualifier is None
+        assert schema[0].dtype is DataType.INTEGER
+
+    def test_rename_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            make_schema().rename(["x"])
+
+    def test_schema_of_helper(self):
+        schema = Schema.of(("a", DataType.INTEGER), "b", Column("c", DataType.FLOAT))
+        assert schema.names() == ["a", "b", "c"]
+        assert schema[1].dtype is DataType.ANY
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+
+    def test_iteration(self):
+        assert [c.name for c in make_schema()] == ["p_partkey", "p_name", "s_name"]
+
+    def test_describe(self):
+        text = make_schema().describe()
+        assert "part.p_partkey" in text
+        assert "integer" in text

@@ -1,0 +1,110 @@
+"""Unit tests for in-memory tables."""
+
+import pytest
+
+from repro.errors import ConstraintError, SchemaError, TypeCheckError
+from repro.storage.table import Table, table_from_rows
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+
+def small_table() -> Table:
+    return table_from_rows(
+        "t",
+        [("k", DataType.INTEGER), ("v", DataType.STRING)],
+        [(1, "a"), (2, "b"), (2, "b"), (3, None)],
+    )
+
+
+class TestInsert:
+    def test_row_count(self):
+        assert len(small_table()) == 4
+
+    def test_width_mismatch(self):
+        with pytest.raises(SchemaError):
+            small_table().insert((1,))
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            small_table().insert(("x", "a"))
+
+    def test_nulls_allowed(self):
+        table = small_table()
+        table.insert((None, None))
+        assert table.rows[-1] == (None, None)
+
+    def test_duplicates_preserved(self):
+        assert small_table().rows.count((2, "b")) == 2
+
+    def test_insert_many(self):
+        table = small_table()
+        assert table.insert_many([(5, "e"), (6, "f")]) == 2
+        assert len(table) == 6
+
+
+class TestPrimaryKey:
+    def test_valid_key_passes(self):
+        table = table_from_rows(
+            "t", [("k", DataType.INTEGER)], [(1,), (2,)], primary_key=["k"]
+        )
+        table.check_primary_key()
+
+    def test_duplicate_key_detected(self):
+        table = table_from_rows(
+            "t", [("k", DataType.INTEGER)], [(1,), (1,)], primary_key=["k"]
+        )
+        with pytest.raises(ConstraintError):
+            table.check_primary_key()
+
+    def test_null_key_detected(self):
+        table = table_from_rows(
+            "t", [("k", DataType.INTEGER)], [(None,)], primary_key=["k"]
+        )
+        with pytest.raises(ConstraintError):
+            table.check_primary_key()
+
+    def test_composite_key(self):
+        table = table_from_rows(
+            "t",
+            [("a", DataType.INTEGER), ("b", DataType.INTEGER)],
+            [(1, 1), (1, 2)],
+            primary_key=["a", "b"],
+        )
+        table.check_primary_key()
+
+    def test_unknown_key_column_rejected_at_construction(self):
+        with pytest.raises(Exception):
+            table_from_rows("t", [("a", DataType.INTEGER)], [], primary_key=["zzz"])
+
+
+class TestReads:
+    def test_column_values(self):
+        assert small_table().column_values("v") == ["a", "b", "b", None]
+
+    def test_sorted_rows_nulls_first(self):
+        table = small_table()
+        assert table.sorted_rows(["v"])[0] == (3, None)
+
+    def test_filter(self):
+        filtered = small_table().filter(lambda row: row[0] == 2)
+        assert len(filtered) == 2
+
+    def test_to_dicts_uses_qualified_names(self):
+        dicts = small_table().to_dicts()
+        assert dicts[0] == {"t.k": 1, "t.v": "a"}
+
+    def test_pretty_contains_headers_and_ellipsis(self):
+        text = small_table().pretty(limit=2)
+        assert "t.k" in text
+        assert "more rows" in text
+
+    def test_clear(self):
+        table = small_table()
+        table.clear()
+        assert len(table) == 0
+
+
+class TestQualification:
+    def test_table_from_rows_qualifies_by_name(self):
+        table = small_table()
+        assert table.schema.qualified_names() == ["t.k", "t.v"]

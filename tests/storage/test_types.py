@@ -1,0 +1,218 @@
+"""Unit tests for the SQL value domain and three-valued logic."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.storage.types import (
+    FALSE,
+    NULL_KEY,
+    TRUE,
+    UNKNOWN,
+    DataType,
+    TruthValue,
+    check_value,
+    common_type,
+    compare_values,
+    format_value,
+    grouping_key,
+    infer_type,
+    sort_key,
+    sql_eq,
+    sql_ge,
+    sql_gt,
+    sql_le,
+    sql_lt,
+    sql_ne,
+)
+
+
+class TestInferType:
+    def test_integers(self):
+        assert infer_type(42) is DataType.INTEGER
+
+    def test_floats(self):
+        assert infer_type(3.14) is DataType.FLOAT
+
+    def test_strings(self):
+        assert infer_type("hello") is DataType.STRING
+
+    def test_booleans_not_integers(self):
+        assert infer_type(True) is DataType.BOOLEAN
+        assert infer_type(False) is DataType.BOOLEAN
+
+    def test_dates(self):
+        assert infer_type(datetime.date(2003, 6, 9)) is DataType.DATE
+
+    def test_null_is_any(self):
+        assert infer_type(None) is DataType.ANY
+
+    def test_unsupported_value(self):
+        with pytest.raises(TypeCheckError):
+            infer_type([1, 2])
+
+
+class TestCheckValue:
+    def test_null_inhabits_every_type(self):
+        for dtype in DataType:
+            assert check_value(None, dtype) is None
+
+    def test_integer_promotes_to_float(self):
+        assert check_value(3, DataType.FLOAT) == 3
+
+    def test_float_does_not_fit_integer(self):
+        with pytest.raises(TypeCheckError):
+            check_value(3.5, DataType.INTEGER)
+
+    def test_boolean_is_not_integer(self):
+        with pytest.raises(TypeCheckError):
+            check_value(True, DataType.INTEGER)
+
+    def test_any_accepts_everything(self):
+        assert check_value("x", DataType.ANY) == "x"
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(DataType.STRING, DataType.STRING) is DataType.STRING
+
+    def test_numeric_widening(self):
+        assert common_type(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+
+    def test_any_defers(self):
+        assert common_type(DataType.ANY, DataType.STRING) is DataType.STRING
+        assert common_type(DataType.DATE, DataType.ANY) is DataType.DATE
+
+    def test_incompatible(self):
+        with pytest.raises(TypeCheckError):
+            common_type(DataType.STRING, DataType.INTEGER)
+
+
+class TestTruthValue:
+    def test_bool_lowering_only_true_passes(self):
+        assert bool(TRUE)
+        assert not bool(FALSE)
+        assert not bool(UNKNOWN)
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (TRUE, TRUE, TRUE),
+            (TRUE, FALSE, FALSE),
+            (TRUE, UNKNOWN, UNKNOWN),
+            (FALSE, UNKNOWN, FALSE),
+            (UNKNOWN, UNKNOWN, UNKNOWN),
+        ],
+    )
+    def test_and(self, a, b, expected):
+        assert a.and_(b) is expected
+        assert b.and_(a) is expected
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (TRUE, FALSE, TRUE),
+            (FALSE, FALSE, FALSE),
+            (TRUE, UNKNOWN, TRUE),
+            (FALSE, UNKNOWN, UNKNOWN),
+            (UNKNOWN, UNKNOWN, UNKNOWN),
+        ],
+    )
+    def test_or(self, a, b, expected):
+        assert a.or_(b) is expected
+        assert b.or_(a) is expected
+
+    def test_not(self):
+        assert TRUE.not_() is FALSE
+        assert FALSE.not_() is TRUE
+        assert UNKNOWN.not_() is UNKNOWN
+
+    def test_of_and_to_sql_roundtrip(self):
+        assert TruthValue.of(True) is TRUE
+        assert TruthValue.of(False) is FALSE
+        assert TruthValue.of(None) is UNKNOWN
+        assert TRUE.to_sql() is True
+        assert UNKNOWN.to_sql() is None
+
+
+class TestCompareValues:
+    def test_orderings(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+
+    def test_null_propagates(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+        assert compare_values(None, None) is None
+
+    def test_mixed_numerics(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 1.5) == -1
+
+    def test_cross_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            compare_values(1, "one")
+
+    def test_string_ordering(self):
+        assert compare_values("apple", "banana") == -1
+
+
+class TestSqlComparisons:
+    def test_eq(self):
+        assert sql_eq(1, 1) is TRUE
+        assert sql_eq(1, 2) is FALSE
+        assert sql_eq(None, 1) is UNKNOWN
+
+    def test_ne(self):
+        assert sql_ne(1, 2) is TRUE
+        assert sql_ne(2, 2) is FALSE
+        assert sql_ne(None, None) is UNKNOWN
+
+    def test_inequalities(self):
+        assert sql_lt(1, 2) is TRUE
+        assert sql_le(2, 2) is TRUE
+        assert sql_gt(3, 2) is TRUE
+        assert sql_ge(2, 3) is FALSE
+        assert sql_ge(None, 3) is UNKNOWN
+
+
+class TestGroupingKey:
+    def test_nulls_group_together(self):
+        assert grouping_key((None,)) == grouping_key((None,))
+
+    def test_null_key_singleton(self):
+        assert grouping_key((None,))[0] is NULL_KEY
+
+    def test_boolean_tagged_apart_from_integers(self):
+        assert grouping_key((True,)) != grouping_key((1,))
+        assert grouping_key((False,)) != grouping_key((0,))
+
+    def test_hashable(self):
+        {grouping_key((None, 1, "x", True))}
+
+    def test_null_sorts_first(self):
+        keys = [sort_key((v,)) for v in (3, None, 1)]
+        assert sorted(keys) == [sort_key((None,)), sort_key((1,)), sort_key((3,))]
+
+    def test_null_key_comparisons(self):
+        assert NULL_KEY < 5
+        assert not (NULL_KEY > 5)
+        assert NULL_KEY <= NULL_KEY
+        assert NULL_KEY >= NULL_KEY
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_booleans(self):
+        assert format_value(True) == "TRUE"
+        assert format_value(False) == "FALSE"
+
+    def test_float_trimming(self):
+        assert format_value(75.0) == "75"
+
+    def test_date(self):
+        assert format_value(datetime.date(2003, 6, 9)) == "2003-06-09"

@@ -1,0 +1,103 @@
+"""Tests for the public Database facade."""
+
+import pytest
+
+from repro.api import Database, QueryResult
+from repro.errors import CatalogError
+from repro.optimizer.planner import PlannerOptions
+from repro.storage import DataType
+
+
+class TestDatabaseDdl:
+    def test_create_table_registers(self, parts_db):
+        parts_db.create_table("extra", [("x", DataType.INTEGER)], [(1,)])
+        assert parts_db.table("extra").rows == [(1,)]
+
+    def test_create_duplicate_rejected(self, parts_db):
+        with pytest.raises(CatalogError):
+            parts_db.create_table("part", [("x", DataType.INTEGER)])
+
+    def test_add_foreign_key_validates_columns(self, parts_db):
+        with pytest.raises(Exception):
+            parts_db.add_foreign_key("partsupp", ["nope"], "part", ["p_partkey"])
+
+
+class TestQueryExecution:
+    def test_sql_returns_query_result(self, parts_db):
+        result = parts_db.sql("select count(*) from part")
+        assert isinstance(result, QueryResult)
+        assert result.rows == [(12,)]
+        assert result.optimization is not None
+
+    def test_optimize_false_skips_report(self, parts_db):
+        result = parts_db.sql("select count(*) from part", optimize=False)
+        assert result.optimization is None
+
+    def test_plan_returns_logical(self, parts_db):
+        from repro.algebra.operators import LogicalOperator
+
+        plan = parts_db.plan("select p_name from part")
+        assert isinstance(plan, LogicalOperator)
+
+    def test_execute_accepts_prebuilt_plan(self, parts_db):
+        plan = parts_db.plan("select p_name from part where p_partkey = 1")
+        result = parts_db.execute(plan)
+        assert result.rows == [("part1",)]
+
+    def test_planner_options_forwarded(self, parts_db):
+        sql = (
+            "select gapply(select count(*) from g) from part "
+            "group by p_brand : g"
+        )
+        hash_result = parts_db.sql(
+            sql, planner_options=PlannerOptions(gapply_partitioning="hash")
+        )
+        sort_result = parts_db.sql(
+            sql, planner_options=PlannerOptions(gapply_partitioning="sort")
+        )
+        assert sorted(hash_result.rows) == sorted(sort_result.rows)
+
+    def test_counters_populated(self, parts_db):
+        result = parts_db.sql("select count(*) from partsupp, part "
+                              "where ps_partkey = p_partkey")
+        assert result.counters.table_scan_rows > 0
+        assert result.counters.total_work > 0
+
+    def test_iteration_and_len(self, parts_db):
+        result = parts_db.sql("select p_partkey from part")
+        assert len(list(result)) == len(result) == 12
+
+
+class TestExplain:
+    def test_explain_includes_cost_header(self, parts_db):
+        text = parts_db.explain("select count(*) from part")
+        assert text.startswith("-- cost:")
+
+    def test_explain_unoptimized(self, parts_db):
+        text = parts_db.explain("select count(*) from part", optimize=False)
+        assert not text.startswith("-- cost:")
+        assert "TableScan" in text
+
+    def test_explain_lists_fired_rules(self, parts_db):
+        text = parts_db.explain(
+            "select gapply(select count(*) from g) "
+            "from partsupp, part where ps_partkey = p_partkey "
+            "group by ps_suppkey : g"
+        )
+        assert "rules:" in text
+
+
+class TestQueryResultHelpers:
+    def test_to_table_roundtrip(self, parts_db):
+        result = parts_db.sql("select p_partkey, p_name from part limit 2")
+        table = result.to_table("snapshot")
+        assert len(table) == 2
+        assert table.schema == result.schema
+
+    def test_to_dicts(self, parts_db):
+        result = parts_db.sql("select p_partkey from part limit 1")
+        assert result.to_dicts() == [{"p_partkey": 1}]
+
+    def test_pretty_truncates(self, parts_db):
+        result = parts_db.sql("select p_partkey from part")
+        assert "more rows" in result.pretty(limit=2)

@@ -1,0 +1,77 @@
+"""Tests for the exception taxonomy: every engine failure is a ReproError."""
+
+import pytest
+
+from repro import errors
+from repro.api import Database
+from repro.storage import DataType
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SchemaError,
+            errors.AmbiguousColumnError,
+            errors.UnknownColumnError,
+            errors.TypeCheckError,
+            errors.CatalogError,
+            errors.ConstraintError,
+            errors.SqlSyntaxError,
+            errors.BindError,
+            errors.PlanError,
+            errors.OptimizerError,
+            errors.ExecutionError,
+            errors.XmlPublishError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_ambiguous_error_carries_candidates(self):
+        error = errors.AmbiguousColumnError("x", ["a.x", "b.x"])
+        assert error.candidates == ["a.x", "b.x"]
+        assert "a.x" in str(error)
+
+    def test_unknown_column_lists_available(self):
+        error = errors.UnknownColumnError("q", ["a", "b"])
+        assert "a, b" in str(error)
+
+    def test_sql_syntax_error_location(self):
+        error = errors.SqlSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+
+class TestFailuresSurfaceAsReproErrors:
+    """User-facing failure paths never leak bare Python exceptions."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.create_table("t", [("a", DataType.INTEGER)], [(1,)])
+        return db
+
+    def test_lexer_failure(self, db):
+        with pytest.raises(errors.ReproError):
+            db.sql("select @ from t")
+
+    def test_parser_failure(self, db):
+        with pytest.raises(errors.ReproError):
+            db.sql("select from where")
+
+    def test_binder_failure(self, db):
+        with pytest.raises(errors.ReproError):
+            db.sql("select ghost from t")
+
+    def test_catalog_failure(self, db):
+        with pytest.raises(errors.ReproError):
+            db.sql("select a from phantom")
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(errors.ExecutionError):
+            db.sql("select a / 0 from t")
+
+    def test_cross_type_comparison(self, db):
+        with pytest.raises(errors.ReproError):
+            db.sql("select a from t where a > 'text'")

@@ -1,0 +1,105 @@
+"""Unit tests for the TPC-H generator."""
+
+import pytest
+
+from repro.storage import Catalog
+from repro.workloads.tpch import (
+    TpchConfig,
+    generate_nation,
+    generate_part,
+    generate_partsupp,
+    generate_region,
+    generate_supplier,
+    load_tpch,
+    _part_retailprice,
+)
+
+
+class TestConfig:
+    def test_default_sizes(self):
+        config = TpchConfig()
+        assert config.part_count == 20
+        assert config.supplier_count == 4
+
+    def test_scaling(self):
+        config = TpchConfig(scale=0.5)
+        assert config.part_count == 1000
+        assert config.supplier_count == 50
+
+    def test_minimum_sizes(self):
+        config = TpchConfig(scale=0.0001)
+        assert config.part_count >= 8
+        assert config.supplier_count >= 4
+
+
+class TestGenerators:
+    def test_region_and_nation_fixed(self):
+        assert len(generate_region()) == 5
+        assert len(generate_nation()) == 25
+
+    def test_part_price_formula(self):
+        # spec: (90000 + ((partkey/10) mod 20001) + 100(partkey mod 1000))/100
+        assert _part_retailprice(1) == pytest.approx(901.0)
+        assert _part_retailprice(10) == pytest.approx(910.01)
+
+    def test_part_columns(self):
+        table = generate_part(TpchConfig(scale=0.01))
+        row = table.rows[0]
+        schema = table.schema
+        assert row[schema.index_of("p_brand")].startswith("Brand#")
+        assert 1 <= row[schema.index_of("p_size")] <= 50
+
+    def test_partsupp_four_suppliers_per_part(self):
+        config = TpchConfig(scale=0.1)
+        table = generate_partsupp(config)
+        assert len(table) == config.part_count * 4
+        # distinct suppliers per part
+        by_part: dict[int, set] = {}
+        for row in table.rows:
+            by_part.setdefault(row[0], set()).add(row[1])
+        assert all(len(suppliers) == 4 for suppliers in by_part.values())
+
+    def test_determinism(self):
+        config = TpchConfig(scale=0.02)
+        assert generate_part(config).rows == generate_part(config).rows
+        assert generate_supplier(config).rows == generate_supplier(config).rows
+
+    def test_seed_changes_data(self):
+        a = generate_part(TpchConfig(scale=0.02, seed=1))
+        b = generate_part(TpchConfig(scale=0.02, seed=2))
+        assert a.rows != b.rows
+
+
+class TestLoader:
+    def test_constraints_validate(self):
+        catalog = Catalog()
+        load_tpch(catalog, TpchConfig(scale=0.02), validate=True)
+
+    def test_tables_registered(self, tpch_catalog):
+        for name in ("region", "nation", "part", "supplier", "partsupp"):
+            assert tpch_catalog.has_table(name)
+
+    def test_foreign_keys_declared(self, tpch_catalog):
+        assert tpch_catalog.find_foreign_key(
+            "partsupp", ["ps_partkey"], "part", ["p_partkey"]
+        )
+        assert tpch_catalog.find_foreign_key(
+            "partsupp", ["ps_suppkey"], "supplier", ["s_suppkey"]
+        )
+
+    def test_indexes_created(self, tpch_catalog):
+        assert tpch_catalog.table("part").index_on(["p_partkey"]) is not None
+        assert tpch_catalog.table("part").index_on(["p_retailprice"]) is not None
+        assert tpch_catalog.table("partsupp").index_on(["ps_suppkey"]) is not None
+
+    def test_group_structure(self, tpch_catalog):
+        """Every supplier supplies roughly parts*4/suppliers parts."""
+        partsupp = tpch_catalog.table("partsupp")
+        position = partsupp.schema.index_of("ps_suppkey")
+        counts: dict[int, int] = {}
+        for row in partsupp.rows:
+            counts[row[position]] = counts.get(row[position], 0) + 1
+        expected = len(partsupp) / len(tpch_catalog.table("supplier"))
+        assert all(
+            0.25 * expected <= count <= 4 * expected for count in counts.values()
+        )

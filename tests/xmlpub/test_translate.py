@@ -1,0 +1,213 @@
+"""Integration tests for the XQuery -> SQL translator.
+
+The central claim: for every supported query, the sorted-outer-union
+formulation and the gapply formulation produce equivalent XML documents
+(identical group fragments; group order is unspecified under the paper's
+unordered model).
+"""
+
+import re
+
+import pytest
+
+from repro.api import Database
+from repro.errors import XmlPublishError
+from repro.storage import DataType
+from repro.xmlpub import (
+    ConstantSpaceTagger,
+    Translator,
+    tpch_supplier_view,
+    translate_xquery,
+)
+
+Q1 = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "<parts> for $p in $s/part return <part> $p/p_name, $p/p_retailprice "
+    "</part> </parts>, avg($s/part/p_retailprice) </ret>"
+)
+Q2 = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "<count_above> count($s/part[p_retailprice >= avg($s/part/p_retailprice)]) "
+    "</count_above>, <count_below> count($s/part[p_retailprice < "
+    "avg($s/part/p_retailprice)]) </count_below> </ret>"
+)
+Q3 = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "<highend> for $p in $s/part[p_retailprice >= 0.8 * "
+    "max($s/part/p_retailprice)] return <part> $p/p_name </part> </highend> "
+    "</ret>"
+)
+GS = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier where some $p in $s/part "
+    "satisfies $p/p_retailprice > 90 return $s"
+)
+AGS = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier "
+    "where avg($s/part/p_retailprice) > 60 return $s"
+)
+
+
+@pytest.fixture
+def xml_db() -> Database:
+    db = Database()
+    db.create_table(
+        "part",
+        [
+            ("p_partkey", DataType.INTEGER),
+            ("p_name", DataType.STRING),
+            ("p_retailprice", DataType.FLOAT),
+        ],
+        [(i, f"part{i}", float(i * 10)) for i in range(1, 13)],
+        primary_key=["p_partkey"],
+    )
+    db.create_table(
+        "partsupp",
+        [("ps_suppkey", DataType.INTEGER), ("ps_partkey", DataType.INTEGER)],
+        [(100 + (i % 3), i) for i in range(1, 13)],
+    )
+    db.create_table(
+        "supplier",
+        [("s_suppkey", DataType.INTEGER), ("s_name", DataType.STRING)],
+        [(100 + i, f"supp{i}") for i in range(3)],
+        primary_key=["s_suppkey"],
+    )
+    return db
+
+
+def group_fragments(xml: str, tag: str) -> list[str]:
+    return sorted(re.findall(rf"<{tag}>.*?</{tag}>", xml))
+
+
+def roundtrip(db: Database, query: str, tag: str):
+    translated = translate_xquery(query, tpch_supplier_view(), db.catalog)
+    union_rows = db.sql(translated.outer_union_sql).rows
+    gapply_rows = db.sql(translated.gapply_sql).rows
+    tagger = ConstantSpaceTagger(translated.spec)
+    return (
+        tagger.tag_to_string(union_rows),
+        tagger.tag_to_string(gapply_rows),
+        translated,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "query, tag",
+        [(Q1, "ret"), (Q2, "ret"), (Q3, "ret"), (GS, "supplier"), (AGS, "supplier")],
+        ids=["q1", "q2", "q3", "group-selection", "aggregate-selection"],
+    )
+    def test_both_formulations_publish_same_document(self, xml_db, query, tag):
+        union_xml, gapply_xml, _ = roundtrip(xml_db, query, tag)
+        assert group_fragments(union_xml, tag) == group_fragments(gapply_xml, tag)
+        assert group_fragments(union_xml, tag)  # non-empty result
+
+
+class TestQ1Details:
+    def test_document_content(self, xml_db):
+        union_xml, _, _ = roundtrip(xml_db, Q1, "ret")
+        # supplier 101 supplies parts 1,4,7,10 -> avg 55
+        assert "<avg_p_retailprice>55</avg_p_retailprice>" in union_xml
+        assert "<part><p_name>part1</p_name>" in union_xml
+
+    def test_gapply_sql_uses_extension_syntax(self, xml_db):
+        translated = translate_xquery(Q1, tpch_supplier_view(), xml_db.catalog)
+        assert "gapply(" in translated.gapply_sql
+        assert ": g" in translated.gapply_sql
+
+    def test_union_sql_is_ordered(self, xml_db):
+        translated = translate_xquery(Q1, tpch_supplier_view(), xml_db.catalog)
+        assert "order by gkey, branch" in translated.outer_union_sql
+
+    def test_payload_is_disjoint_outer_union(self, xml_db):
+        translated = translate_xquery(Q1, tpch_supplier_view(), xml_db.catalog)
+        # nested-for needs 2 columns, aggregate 1 -> combined width 3
+        assert translated.payload_width == 3
+
+
+class TestGroupSelectionDetails:
+    def test_only_qualifying_suppliers_published(self, xml_db):
+        union_xml, gapply_xml, _ = roundtrip(xml_db, GS, "supplier")
+        # parts with price > 90: 10, 11, 12 -> suppliers 101, 102, 100
+        assert union_xml.count("<supplier>") == 3
+        union_xml, gapply_xml, _ = roundtrip(
+            xml_db,
+            GS.replace("> 90", "> 110"),
+            "supplier",
+        )
+        # only part 12 (price 120) -> supplier 100
+        assert union_xml.count("<supplier>") == 1
+        assert "<s_suppkey>100</s_suppkey>" in union_xml
+
+    def test_aggregate_selection_threshold(self, xml_db):
+        union_xml, _, _ = roundtrip(xml_db, AGS, "supplier")
+        # averages: 100 -> 75, 101 -> 55, 102 -> 65 ; > 60 keeps 100 and 102
+        assert union_xml.count("<supplier>") == 2
+
+
+class TestErrors:
+    def test_wrong_view_path(self, xml_db):
+        with pytest.raises(XmlPublishError):
+            translate_xquery(
+                "for $s in /doc(x)/wrong/path return $s",
+                tpch_supplier_view(),
+                xml_db.catalog,
+            )
+
+    def test_where_with_constructor_unsupported(self, xml_db):
+        with pytest.raises(XmlPublishError):
+            translate_xquery(
+                "for $s in /doc(t)/suppliers/supplier "
+                "where avg($s/part/p_retailprice) > 1 "
+                "return <r> $s/s_suppkey </r>",
+                tpch_supplier_view(),
+                xml_db.catalog,
+            )
+
+    def test_whole_subtree_without_where_rejected(self, xml_db):
+        with pytest.raises(XmlPublishError):
+            translate_xquery(
+                "for $s in /doc(t)/suppliers/supplier return $s",
+                tpch_supplier_view(),
+                xml_db.catalog,
+            )
+
+    def test_unknown_field_in_nested_return(self, xml_db):
+        with pytest.raises(XmlPublishError):
+            translate_xquery(
+                "for $s in /doc(t)/suppliers/supplier return <r> "
+                "<ps> for $p in $s/part return <q> $p/p_nonexistent </q> </ps> </r>",
+                tpch_supplier_view(),
+                xml_db.catalog,
+            )
+
+    def test_node_columns_helper(self, xml_db):
+        translator = Translator(tpch_supplier_view(), xml_db.catalog)
+        columns = translator.node_columns(tpch_supplier_view().node)
+        assert columns == ["s_suppkey", "s_name"]
+
+
+PARENT_FIELDS = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "$s/s_name, <parts> for $p in $s/part return <part> $p/p_name </part> "
+    "</parts>, avg($s/part/p_retailprice) </ret>"
+)
+
+
+class TestParentFields:
+    def test_parent_field_requires_parent_join(self, xml_db):
+        translated = translate_xquery(
+            PARENT_FIELDS, tpch_supplier_view(), xml_db.catalog
+        )
+        # the gapply outer query now joins the supplier node's query
+        assert "psrc" in translated.gapply_sql
+        assert "from supplier" in translated.gapply_sql
+
+    def test_parent_field_roundtrip(self, xml_db):
+        union_xml, gapply_xml, _ = roundtrip(xml_db, PARENT_FIELDS, "ret")
+        assert group_fragments(union_xml, "ret") == group_fragments(
+            gapply_xml, "ret"
+        )
+
+    def test_parent_field_rendered_once_per_group(self, xml_db):
+        _, gapply_xml, _ = roundtrip(xml_db, PARENT_FIELDS, "ret")
+        assert gapply_xml.count("<s_name>supp1</s_name>") == 1

@@ -1,0 +1,81 @@
+"""Unit tests for XML view definitions (the Figure 1 representation)."""
+
+import pytest
+
+from repro.errors import XmlPublishError
+from repro.xmlpub.view import (
+    XmlChildEdge,
+    XmlField,
+    XmlView,
+    XmlViewNode,
+    tpch_supplier_view,
+)
+
+
+class TestXmlField:
+    def test_tag_defaults_to_column(self):
+        assert XmlField("p_name").tag == "p_name"
+
+    def test_explicit_xml_name(self):
+        assert XmlField("p_name", "name").tag == "name"
+
+
+class TestXmlViewNode:
+    def test_requires_key(self):
+        with pytest.raises(XmlPublishError):
+            XmlViewNode("t", "select 1 from x", key=())
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(XmlPublishError):
+            XmlViewNode(
+                "t",
+                "select a from x",
+                key=("a",),
+                fields=(XmlField("a"), XmlField("b", "a")),
+            )
+
+    def test_field_lookup(self):
+        node = XmlViewNode(
+            "t", "select a from x", key=("a",), fields=(XmlField("a", "alpha"),)
+        )
+        assert node.field("alpha").column == "a"
+        assert node.field("a").column == "a"
+        assert node.has_field("alpha")
+        with pytest.raises(XmlPublishError):
+            node.field("missing")
+
+    def test_child_lookup(self):
+        view = tpch_supplier_view()
+        edge = view.node.child("part")
+        assert edge.node.tag == "part"
+        assert view.node.has_child("part")
+        with pytest.raises(XmlPublishError):
+            view.node.child("widget")
+
+
+class TestXmlChildEdge:
+    def test_correlation_arity_checked(self):
+        child = XmlViewNode("c", "select a from x", key=("a",))
+        with pytest.raises(XmlPublishError):
+            XmlChildEdge(child, ("a", "b"), ("a",))
+
+
+class TestFigure1View:
+    def test_structure(self):
+        view = tpch_supplier_view()
+        assert view.root_tag == "suppliers"
+        assert view.node.tag == "supplier"
+        assert view.node.key == ("s_suppkey",)
+        edge = view.node.children[0]
+        assert edge.parent_columns == ("s_suppkey",)
+        assert edge.child_columns == ("ps_suppkey",)
+
+    def test_resolve_path(self):
+        view = tpch_supplier_view()
+        assert view.resolve_path(()).tag == "supplier"
+        assert view.resolve_path(("part",)).tag == "part"
+
+    def test_part_query_joins_partsupp_and_part(self):
+        view = tpch_supplier_view()
+        query = view.node.children[0].node.query
+        assert "partsupp" in query and "part" in query

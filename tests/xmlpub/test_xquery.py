@@ -1,0 +1,147 @@
+"""Unit tests for the XQuery FLWR parser."""
+
+import pytest
+
+from repro.errors import XmlPublishError
+from repro.xmlpub.xquery import (
+    XqAggregate,
+    XqArith,
+    XqComparison,
+    XqElement,
+    XqFlwr,
+    XqLiteral,
+    XqPath,
+    XqSome,
+    parse_xquery,
+)
+
+Q1 = """
+for $s in /doc(tpch.xml)/suppliers/supplier
+return <ret>
+    $s/s_suppkey,
+    <parts> for $p in $s/part return <part> $p/p_name, $p/p_retailprice </part> </parts>,
+    avg($s/part/p_retailprice)
+</ret>
+"""
+
+
+class TestFlwrStructure:
+    def test_q1_shape(self):
+        flwr = parse_xquery(Q1)
+        assert flwr.variable == "s"
+        assert flwr.document_steps == ("suppliers", "supplier")
+        assert flwr.where is None
+        body = flwr.body
+        assert isinstance(body, XqElement) and body.tag == "ret"
+        assert len(body.items) == 3
+
+    def test_key_item_is_path(self):
+        body = parse_xquery(Q1).body
+        assert body.items[0] == XqPath("s", ("s_suppkey",))
+
+    def test_nested_flwr(self):
+        body = parse_xquery(Q1).body
+        wrapper = body.items[1]
+        assert isinstance(wrapper, XqElement) and wrapper.tag == "parts"
+        nested = wrapper.items[0]
+        assert isinstance(nested, XqFlwr)
+        assert nested.variable == "p"
+        assert nested.path == XqPath("s", ("part",))
+
+    def test_aggregate_item(self):
+        body = parse_xquery(Q1).body
+        aggregate = body.items[2]
+        assert isinstance(aggregate, XqAggregate)
+        assert aggregate.function == "avg"
+        assert aggregate.path.steps == ("part", "p_retailprice")
+
+
+class TestPredicates:
+    def test_aggregate_with_path_predicate(self):
+        flwr = parse_xquery(
+            "for $s in /doc(t)/a/b return <r> "
+            "count($s/part[p_retailprice >= avg($s/part/p_retailprice)]) </r>"
+        )
+        aggregate = flwr.body.items[0]
+        assert isinstance(aggregate, XqAggregate)
+        predicate = aggregate.predicate
+        assert isinstance(predicate, XqComparison) and predicate.op == ">="
+        assert isinstance(predicate.right, XqAggregate)
+
+    def test_path_predicate_in_nested_for(self):
+        flwr = parse_xquery(
+            "for $s in /doc(t)/a/b return <r> <hi> "
+            "for $p in $s/part[p_retailprice >= 0.9 * max($s/part/p_retailprice)] "
+            "return <part> $p/p_name </part> </hi> </r>"
+        )
+        nested = flwr.body.items[0].items[0]
+        predicate = nested.path.predicate
+        assert predicate is not None
+        assert isinstance(predicate.right, XqArith)
+        assert predicate.right.op == "*"
+
+    def test_at_most_one_predicate(self):
+        with pytest.raises(XmlPublishError):
+            parse_xquery(
+                "for $s in /doc(t)/a/b return <r> "
+                "count($s/part[x > 1]/sub[y > 2]) </r>"
+            )
+
+
+class TestWhereClauses:
+    def test_some_satisfies(self):
+        flwr = parse_xquery(
+            "for $s in /doc(t)/a/b "
+            "where some $p in $s/part satisfies $p/p_retailprice > 1000 "
+            "return $s"
+        )
+        assert isinstance(flwr.where, XqSome)
+        assert flwr.where.variable == "p"
+        assert flwr.where.satisfies.op == ">"
+        assert isinstance(flwr.body, XqPath) and flwr.body.steps == ()
+
+    def test_aggregate_condition(self):
+        flwr = parse_xquery(
+            "for $s in /doc(t)/a/b where avg($s/part/p) > 10 return $s"
+        )
+        assert isinstance(flwr.where, XqComparison)
+        assert isinstance(flwr.where.left, XqAggregate)
+        assert flwr.where.right == XqLiteral(10)
+
+
+class TestLexicalDetails:
+    def test_string_literals(self):
+        flwr = parse_xquery(
+            'for $s in /doc(t)/a/b where some $p in $s/c satisfies $p/x = "hi" return $s'
+        )
+        assert flwr.where.satisfies.right == XqLiteral("hi")
+
+    def test_float_literals(self):
+        flwr = parse_xquery(
+            "for $s in /doc(t)/a/b where avg($s/c/x) > 10.5 return $s"
+        )
+        assert flwr.where.right == XqLiteral(10.5)
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XmlPublishError):
+            parse_xquery("for $s in /doc(t)/a/b return <r> $s/x </oops>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XmlPublishError):
+            parse_xquery("for $s in /doc(t)/a/b return <r> $s/x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XmlPublishError):
+            parse_xquery("for $s in /doc(t)/a/b return $s extra")
+
+    def test_missing_variable(self):
+        with pytest.raises(XmlPublishError):
+            parse_xquery("for x in /doc(t)/a/b return $x")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(XmlPublishError):
+            XqAggregate("median", XqPath("s", ("x",)))
+
+    def test_unknown_comparison(self):
+        with pytest.raises(XmlPublishError):
+            XqComparison("~~", XqLiteral(1), XqLiteral(2))
