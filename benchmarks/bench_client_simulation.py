@@ -7,8 +7,6 @@ the native plan and each simulated phase; the printed calibration summary
 comes from ``python -m repro.bench.client_sim``.
 """
 
-import pytest
-
 from conftest import execute
 from repro.api import Database
 from repro.bench.client_sim import simulate_gapply
@@ -41,3 +39,29 @@ def test_simulated_q4(benchmark, bench_catalog):
 
     rows = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert rows > 0
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.harness import Measurement
+    from repro.bench.client_sim import run_q4_calibration
+
+    result = run_q4_calibration(scale)
+    # The simulated phases are whole-protocol wall times, not single-plan
+    # executions, so they carry no work counters — the native row does.
+    return [
+        ("q4/native", result.native),
+        (
+            "q4/simulated_total",
+            Measurement(result.simulated_total, 0, result.rows),
+        ),
+        ("q4/sim_outer", Measurement(result.outer_time, 0, 0)),
+        ("q4/sim_partition", Measurement(result.partition_time, 0, 0)),
+        ("q4/sim_overestimate", Measurement(result.overestimate_time, 0, 0)),
+        ("q4/sim_execution", Measurement(result.execution_time, 0, 0)),
+    ]
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("client_simulation", _script_cases)

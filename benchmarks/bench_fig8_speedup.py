@@ -8,6 +8,7 @@ ratios and the substitution notes.
 
 Run:  pytest benchmarks/bench_fig8_speedup.py --benchmark-only
       python -m repro.bench.fig8            # the summary table
+      python benchmarks/bench_fig8_speedup.py --smoke --out fig8.json
 """
 
 import pytest
@@ -44,3 +45,20 @@ def test_fig8_naive(benchmark, prepared, name):
     plan = prepared(QUERIES[name].naive_sql)
     rows = benchmark(execute, plan)
     assert rows > 0
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.fig8 import run_figure8
+
+    named = []
+    for row in run_figure8(scale=scale, repetitions=repetitions):
+        named.append((f"{row.query}/baseline", row.baseline))
+        named.append((f"{row.query}/gapply_hash", row.gapply_hash))
+        named.append((f"{row.query}/gapply_sort", row.gapply_sort))
+    return named
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("fig8_speedup", _script_cases)

@@ -60,3 +60,34 @@ def test_no_rule_without_indexes(benchmark, bench_catalog, selection_plans):
     normalized, _ = selection_plans
     plan = lower(bench_catalog, normalized, PlannerOptions(use_indexes=False))
     benchmark(execute, plan)
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.harness import measure_physical
+    from repro.storage.catalog import Catalog
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=scale))
+    parameter, sql = SELECTION_SWEEP.instances()[1]
+    normalized = optimize_with(catalog, bind(catalog, sql), traditional_rules())
+    rule = rule_by_name("selection_before_gapply")
+    forced = apply_rule_once(normalized, rule, catalog)
+    assert forced is not None, "selection rule must fire on its own sweep"
+    treated = optimize_with(
+        catalog, forced, rules_without("selection_before_gapply")
+    )
+    named = []
+    for label, logical in (("rule", treated), ("no_rule", normalized)):
+        for index_label, use_indexes in (("indexes", True), ("no_indexes", False)):
+            plan = lower(catalog, logical, PlannerOptions(use_indexes=use_indexes))
+            named.append(
+                (f"{label}/{index_label}", measure_physical(plan, repetitions))
+            )
+    return named
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("index_ablation", _script_cases)

@@ -1,0 +1,76 @@
+"""Parallel GApply execution phase: worker-count sweep on the Figure-8 query.
+
+The partition phase makes groups independent, so the execution phase can
+fan out to a worker pool (``repro.execution.parallel``). This suite sweeps
+the backend (serial / thread / process) and the worker count (1/2/4/8) on
+Q4 — the paper's one natively-GApply-planned query — and asserts every
+configuration returns exactly the serial row count (full row/counter
+equivalence is covered by ``tests/execution/test_parallel_gapply.py``).
+
+Expectations worth stating up front: the thread backend is GIL-bound and
+should hover near 1x; the process backend pays a plan-pickling and fork
+cost and only wins once per-group work dominates that overhead and real
+cores are available. The summary table and JSON curves come from
+``python -m repro.bench.parallel`` / ``python benchmarks/
+bench_parallel_gapply.py --smoke``.
+
+Run:  pytest benchmarks/bench_parallel_gapply.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import execute
+from repro.optimizer.planner import PlannerOptions
+from repro.workloads.queries import query_by_name
+
+QUERY = "Q4"
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _options(backend: str, workers: int) -> PlannerOptions:
+    return PlannerOptions(gapply_backend=backend, gapply_parallelism=workers)
+
+
+@pytest.fixture(scope="module")
+def serial_rows(prepared):
+    return execute(prepared(query_by_name(QUERY).gapply_sql))
+
+
+def test_serial_baseline(benchmark, prepared, serial_rows):
+    plan = prepared(query_by_name(QUERY).gapply_sql)
+    rows = benchmark(execute, plan)
+    assert rows == serial_rows
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_thread_backend(benchmark, prepared, serial_rows, workers):
+    plan = prepared(query_by_name(QUERY).gapply_sql, _options("thread", workers))
+    rows = benchmark(execute, plan)
+    assert rows == serial_rows
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_process_backend(benchmark, prepared, serial_rows, workers):
+    plan = prepared(query_by_name(QUERY).gapply_sql, _options("process", workers))
+    rows = benchmark(execute, plan)
+    assert rows == serial_rows
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.parallel import run_parallel_sweep
+
+    # Smoke sweeps stay at 1/2 workers so a CI runner with few cores still
+    # finishes inside the budget; the module CLI does the full 1/2/4/8.
+    sweep = run_parallel_sweep(
+        scale=scale,
+        workers=(1, 2) if repetitions == 1 else WORKER_COUNTS,
+        query_name=QUERY,
+        repetitions=repetitions,
+    )
+    return sweep.named_measurements()
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("parallel_gapply", _script_cases)

@@ -16,6 +16,7 @@ from repro.optimizer.planner import PlannerOptions
 from repro.workloads.queries import query_by_name
 
 QUERY_NAMES = ("Q1", "Q2")
+STRATEGIES = (HASH_PARTITION, SORT_PARTITION)
 
 
 @pytest.mark.parametrize("name", QUERY_NAMES)
@@ -50,3 +51,33 @@ def test_sort_partitioning_emits_clustered_keys(prepared):
     rows = run_plan(plan, ExecutionContext())
     keys = [row[0] for row in rows]
     assert keys == sorted(keys)
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.harness import measure_sql
+    from repro.storage.catalog import Catalog
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=scale))
+    named = []
+    for name in QUERY_NAMES:
+        for strategy in STRATEGIES:
+            named.append(
+                (
+                    f"{name}/{strategy}",
+                    measure_sql(
+                        catalog,
+                        query_by_name(name).gapply_sql,
+                        options=PlannerOptions(gapply_partitioning=strategy),
+                        repetitions=repetitions,
+                    ),
+                )
+            )
+    return named
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("partitioning", _script_cases)

@@ -50,3 +50,27 @@ def test_table1_without_rule(benchmark, bench_catalog, rule_name):
 def test_table1_with_rule(benchmark, bench_catalog, rule_name):
     _, with_rule = _plans(bench_catalog, rule_name)
     benchmark(execute, with_rule)
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.harness import measure_rule_effect
+    from repro.storage.catalog import Catalog
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=scale))
+    named = []
+    for rule_name, sweep in SWEEPS.items():
+        parameter, sql = sweep.instances()[0]
+        effect = measure_rule_effect(
+            catalog, sql, rule_by_name(rule_name), parameter, repetitions=repetitions
+        )
+        named.append((f"{rule_name}/without", effect.without_rule))
+        named.append((f"{rule_name}/with", effect.with_rule))
+    return named
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("table1_rules", _script_cases)

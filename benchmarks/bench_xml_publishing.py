@@ -67,3 +67,40 @@ def test_publish_gapply(benchmark, pipelines, name):
     plan, tagger = pipelines[(name, "gapply")]
     size = benchmark(publish, plan, tagger)
     assert size > 0
+
+
+def _script_cases(scale: float, repetitions: int):
+    from smokebench import measure_callable
+    from repro.bench.harness import bind, lower, optimize_with
+    from repro.storage.catalog import Catalog
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=scale))
+    view = tpch_supplier_view()
+    named = []
+    for name, xquery in XQUERIES.items():
+        translated = translate_xquery(xquery, view, catalog)
+        for label, sql in (
+            ("union", translated.outer_union_sql),
+            ("gapply", translated.gapply_sql),
+        ):
+            logical = optimize_with(catalog, bind(catalog, sql))
+            plan = lower(catalog, logical)
+            tagger = ConstantSpaceTagger(translated.spec)
+            named.append(
+                (
+                    f"{name}/{label}",
+                    measure_callable(
+                        lambda plan=plan, tagger=tagger: publish(plan, tagger),
+                        repetitions,
+                    ),
+                )
+            )
+    return named
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("xml_publishing", _script_cases)

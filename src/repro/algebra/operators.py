@@ -23,7 +23,7 @@ Design notes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Iterator, Sequence
 
@@ -34,7 +34,7 @@ from repro.algebra.expressions import (
 )
 from repro.storage.schema import Column, Schema
 from repro.storage.table import Table
-from repro.storage.types import DataType, common_type
+from repro.storage.types import common_type
 
 
 @dataclass(frozen=True)

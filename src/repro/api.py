@@ -13,11 +13,13 @@ executor. This is what the examples and benchmarks use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.operators import LogicalOperator
+from repro.errors import PlanError
 from repro.execution.base import PhysicalOperator, run_plan
+from repro.execution.parallel import BACKENDS
 from repro.execution.context import Counters, ExecutionContext
 from repro.optimizer.engine import OptimizationReport, Optimizer
 from repro.optimizer.planner import Planner, PlannerOptions
@@ -57,6 +59,38 @@ class QueryResult:
 
     def pretty(self, limit: int = 20) -> str:
         return self.to_table().pretty(limit)
+
+
+def _with_parallel_knobs(
+    options: PlannerOptions | None,
+    parallelism: int | None,
+    backend: str | None,
+) -> PlannerOptions | None:
+    """Fold the convenience parallel knobs into planner options.
+
+    A bare ``parallelism=N`` (N > 1) implies the process backend — the
+    only one that scales CPU-bound per-group plans on CPython.
+    """
+    if parallelism is None and backend is None:
+        return options
+    # Validate here, not only in PGApply: a plan whose GApply the optimizer
+    # rewrites away (e.g. to groupby) never builds the operator, and bad
+    # knob values should not ride along silently in that case.
+    if parallelism is not None and parallelism < 1:
+        raise PlanError(f"parallelism must be >= 1, got {parallelism}")
+    if backend is not None and backend not in BACKENDS:
+        raise PlanError(
+            f"unknown GApply backend {backend!r}; use one of {BACKENDS}"
+        )
+    base = options or PlannerOptions()
+    updates: dict[str, Any] = {}
+    if parallelism is not None:
+        updates["gapply_parallelism"] = parallelism
+    if backend is not None:
+        updates["gapply_backend"] = backend
+    elif parallelism is not None and parallelism > 1:
+        updates["gapply_backend"] = "process"
+    return replace(base, **updates)
 
 
 class Database:
@@ -106,18 +140,31 @@ class Database:
         text: str,
         optimize: bool = True,
         planner_options: PlannerOptions | None = None,
+        parallelism: int | None = None,
+        backend: str | None = None,
     ) -> QueryResult:
-        """Run SQL text end to end and materialize the result."""
+        """Run SQL text end to end and materialize the result.
+
+        ``parallelism``/``backend`` are shorthand for the GApply
+        execution-phase knobs on :class:`PlannerOptions` (``backend`` in
+        ``{"serial", "thread", "process"}``); explicit ``planner_options``
+        fields are overridden only by the knobs actually passed.
+        """
         logical = self.plan(text)
-        return self.execute(logical, optimize, planner_options)
+        return self.execute(logical, optimize, planner_options, parallelism, backend)
 
     def execute(
         self,
         logical: LogicalOperator,
         optimize: bool = True,
         planner_options: PlannerOptions | None = None,
+        parallelism: int | None = None,
+        backend: str | None = None,
     ) -> QueryResult:
         """Optimize (optionally), lower, and run a logical plan."""
+        planner_options = _with_parallel_knobs(
+            planner_options, parallelism, backend
+        )
         report: OptimizationReport | None = None
         chosen = logical
         if optimize:

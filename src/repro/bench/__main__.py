@@ -1,10 +1,11 @@
-"""Run the whole evaluation: Figure 8, Table 1, and the E8 calibration.
+"""Run the whole evaluation: Figure 8, Table 1, the E8 calibration, and
+the parallel-GApply scaling sweep.
 
 Usage::
 
     python -m repro.bench [scale]
 
-This prints the three summary tables EXPERIMENTS.md quotes. Expect a few
+This prints the summary tables EXPERIMENTS.md quotes. Expect a few
 minutes at the default scale.
 """
 
@@ -14,6 +15,7 @@ import sys
 
 from repro.bench.client_sim import run_q4_calibration
 from repro.bench.fig8 import format_rows, run_figure8
+from repro.bench.parallel import format_sweep, run_parallel_sweep
 from repro.bench.table1 import format_summaries, run_table1
 
 
@@ -34,6 +36,8 @@ def main(argv: list[str] | None = None) -> None:
         f"{result.native.elapsed * 1e3:.1f} ms -> overhead "
         f"{result.overhead:.2f}x (paper: ~1.2x; both conservative)"
     )
+    print()
+    print(format_sweep(run_parallel_sweep(scale)))
 
 
 if __name__ == "__main__":

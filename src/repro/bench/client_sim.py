@@ -37,7 +37,6 @@ from repro.api import Database
 from repro.bench.harness import Measurement, bind, lower, measure_physical, optimize_with
 from repro.execution.base import run_plan
 from repro.execution.context import ExecutionContext
-from repro.storage.catalog import Catalog
 from repro.storage.schema import Column, Schema
 from repro.storage.table import Table
 from repro.storage.types import DataType, grouping_key

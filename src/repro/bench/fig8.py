@@ -50,29 +50,52 @@ class Fig8Row:
         return self.baseline.work_ratio_to(self.gapply_hash)
 
 
-def run_query(catalog: Catalog, query: PaperQuery, repetitions: int = 3) -> Fig8Row:
+def run_query(
+    catalog: Catalog,
+    query: PaperQuery,
+    repetitions: int = 3,
+    backend: str = "serial",
+    parallelism: int = 1,
+) -> Fig8Row:
+    """Measure one paper query; the GApply sides honour the execution-phase
+    ``backend``/``parallelism`` knobs so the figure can be regenerated with
+    a parallel execution phase (the baseline has no GApply to parallelize)."""
     baseline = measure_sql(catalog, query.baseline_sql, repetitions=repetitions)
     gapply_hash = measure_sql(
         catalog,
         query.gapply_sql,
-        options=PlannerOptions(gapply_partitioning=HASH_PARTITION),
+        options=PlannerOptions(
+            gapply_partitioning=HASH_PARTITION,
+            gapply_backend=backend,
+            gapply_parallelism=parallelism,
+        ),
         repetitions=repetitions,
     )
     gapply_sort = measure_sql(
         catalog,
         query.gapply_sql,
-        options=PlannerOptions(gapply_partitioning=SORT_PARTITION),
+        options=PlannerOptions(
+            gapply_partitioning=SORT_PARTITION,
+            gapply_backend=backend,
+            gapply_parallelism=parallelism,
+        ),
         repetitions=repetitions,
     )
     return Fig8Row(query.name, baseline, gapply_hash, gapply_sort)
 
 
 def run_figure8(
-    scale: float = DEFAULT_SCALE, repetitions: int = 3
+    scale: float = DEFAULT_SCALE,
+    repetitions: int = 3,
+    backend: str = "serial",
+    parallelism: int = 1,
 ) -> list[Fig8Row]:
     catalog = Catalog()
     load_tpch(catalog, TpchConfig(scale=scale))
-    return [run_query(catalog, query, repetitions) for query in PAPER_QUERIES]
+    return [
+        run_query(catalog, query, repetitions, backend, parallelism)
+        for query in PAPER_QUERIES
+    ]
 
 
 def format_rows(rows: list[Fig8Row]) -> str:

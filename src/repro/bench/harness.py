@@ -14,8 +14,11 @@ microsecond timings, so the harness reports two numbers per plan:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
 
 from repro.algebra.operators import LogicalOperator
 from repro.execution.base import PhysicalOperator, run_plan
@@ -32,7 +35,13 @@ DEFAULT_REPETITIONS = 3
 
 @dataclass(frozen=True)
 class Measurement:
-    """One measured plan execution."""
+    """One measured plan execution.
+
+    ``backend``/``parallelism`` record which GApply execution-phase pool
+    produced the numbers, so result tables can tell a serial row from a
+    4-worker row (the merged ``work`` is identical by construction; only
+    ``elapsed`` should differ).
+    """
 
     elapsed: float
     work: int
@@ -40,6 +49,8 @@ class Measurement:
     scan_rows: int = 0  # base-table rows read (redundant-join indicator)
     peak_rows: int = 0  # peak rows buffered by partitioning (memory proxy)
     cells: int = 0      # cells written to partition/sort/hash buffers
+    backend: str = "serial"
+    parallelism: int = 1
 
     def ratio_to(self, other: "Measurement") -> float:
         """self/other elapsed-time ratio (``other`` is the faster plan)."""
@@ -52,11 +63,31 @@ class Measurement:
             return float("inf")
         return self.work / other.work
 
+    def to_dict(self) -> dict:
+        """The JSON measurement record (see :func:`write_measurements_json`)."""
+        return {
+            "elapsed": self.elapsed,
+            "work": self.work,
+            "rows": self.rows,
+            "scan_rows": self.scan_rows,
+            "peak_rows": self.peak_rows,
+            "cells": self.cells,
+            "backend": self.backend,
+            "parallelism": self.parallelism,
+        }
+
 
 def measure_physical(
-    plan: PhysicalOperator, repetitions: int = DEFAULT_REPETITIONS
+    plan: PhysicalOperator,
+    repetitions: int = DEFAULT_REPETITIONS,
+    backend: str = "serial",
+    parallelism: int = 1,
 ) -> Measurement:
-    """Best-of-N execution of a physical plan."""
+    """Best-of-N execution of a physical plan.
+
+    ``backend``/``parallelism`` are recorded into the measurement; the
+    plan itself already carries the knobs (set at lowering time).
+    """
     best = float("inf")
     counters = Counters()
     rows = 0
@@ -76,6 +107,35 @@ def measure_physical(
         counters.table_scan_rows,
         counters.peak_partition_rows,
         counters.buffered_cells,
+        backend,
+        parallelism,
+    )
+
+
+def measurements_to_json(
+    named: "Sequence[tuple[str, Measurement]]", **meta: object
+) -> dict:
+    """The benchmark JSON document: ``meta`` + one record per measurement.
+
+    This is the interchange format every runnable benchmark emits (the
+    ``--smoke`` CI artifacts and ``python -m repro.bench.parallel --json``
+    both use it), so regression tooling reads one shape everywhere.
+    """
+    return {
+        "meta": dict(meta),
+        "measurements": [
+            {"name": name, **measurement.to_dict()}
+            for name, measurement in named
+        ],
+    }
+
+
+def write_measurements_json(
+    path: "str | Path", named: "Sequence[tuple[str, Measurement]]", **meta: object
+) -> None:
+    """Serialize :func:`measurements_to_json` to ``path``."""
+    Path(path).write_text(
+        json.dumps(measurements_to_json(named, **meta), indent=2) + "\n"
     )
 
 
@@ -106,11 +166,19 @@ def measure_sql(
     options: PlannerOptions | None = None,
     repetitions: int = DEFAULT_REPETITIONS,
 ) -> Measurement:
-    """Bind, (optionally) optimize, lower and measure one SQL query."""
+    """Bind, (optionally) optimize, lower and measure one SQL query.
+
+    The GApply backend/parallelism from ``options`` are stamped onto the
+    measurement so downstream tables can label serial vs parallel runs.
+    """
     logical = bind(catalog, sql)
     if optimize:
         logical = optimize_with(catalog, logical)
-    return measure_physical(lower(catalog, logical, options), repetitions)
+    backend = options.gapply_backend if options else "serial"
+    parallelism = options.gapply_parallelism if options else 1
+    return measure_physical(
+        lower(catalog, logical, options), repetitions, backend, parallelism
+    )
 
 
 def rules_without(excluded: str) -> list[Rule]:

@@ -1,0 +1,182 @@
+"""Parallel GApply scaling: worker-count sweep on a Figure-8 query.
+
+Run as a module to print the speedup curves (and optionally emit the
+harness JSON measurement document)::
+
+    python -m repro.bench.parallel [scale] [--workers 1,2,4,8]
+        [--backends thread,process] [--query Q4] [--repetitions 3]
+        [--json out.json]
+
+For the chosen paper query's GApply formulation, the harness measures the
+serial execution phase, then each backend at each worker count, and
+reports wall-clock speedup over serial. The deterministic ``work`` counter
+is asserted identical across every point — parallelism must change *when*
+work happens, never *how much* — so the speedup curve is pure scheduling,
+not a cost-model artifact.
+
+Honesty notes baked into the output:
+
+* the merged work counters are printed alongside elapsed time, so a run
+  on a single-core container (where no wall-clock speedup is physically
+  possible) still demonstrates the equivalence contract;
+* the thread backend is expected to hover around 1x on CPython (the GIL
+  serializes per-group plan interpretation); it is swept anyway because
+  it is the shared-memory reference point for the process backend's
+  pickling overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.bench.harness import (
+    Measurement,
+    measure_sql,
+    write_measurements_json,
+)
+from repro.execution.parallel import PROCESS_BACKEND, THREAD_BACKEND
+from repro.optimizer.planner import PlannerOptions
+from repro.storage.catalog import Catalog
+from repro.workloads.queries import query_by_name
+from repro.workloads.tpch import TpchConfig, load_tpch
+
+DEFAULT_SCALE = 0.2
+DEFAULT_WORKERS = (1, 2, 4, 8)
+DEFAULT_BACKENDS = (THREAD_BACKEND, PROCESS_BACKEND)
+#: Q4 is the paper's one natively-GApply-planned query (Section 5.1), so it
+#: is the natural headline for execution-phase engineering on our side too.
+DEFAULT_QUERY = "Q4"
+
+
+@dataclass(frozen=True)
+class ParallelPoint:
+    """One (backend, workers) sweep point and its speedup over serial."""
+
+    backend: str
+    workers: int
+    measurement: Measurement
+    serial: Measurement
+
+    @property
+    def speedup(self) -> float:
+        return self.serial.ratio_to(self.measurement)
+
+
+@dataclass(frozen=True)
+class ParallelSweep:
+    query: str
+    scale: float
+    serial: Measurement
+    points: tuple[ParallelPoint, ...]
+
+    def named_measurements(self) -> list[tuple[str, Measurement]]:
+        named = [(f"{self.query}/serial", self.serial)]
+        named.extend(
+            (f"{self.query}/{p.backend}x{p.workers}", p.measurement)
+            for p in self.points
+        )
+        return named
+
+
+def run_parallel_sweep(
+    scale: float = DEFAULT_SCALE,
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    query_name: str = DEFAULT_QUERY,
+    repetitions: int = 3,
+    catalog: Catalog | None = None,
+) -> ParallelSweep:
+    if catalog is None:
+        catalog = Catalog()
+        load_tpch(catalog, TpchConfig(scale=scale))
+    sql = query_by_name(query_name).gapply_sql
+    serial = measure_sql(catalog, sql, repetitions=repetitions)
+    points = []
+    for backend in backends:
+        for count in workers:
+            measurement = measure_sql(
+                catalog,
+                sql,
+                options=PlannerOptions(
+                    gapply_backend=backend, gapply_parallelism=count
+                ),
+                repetitions=repetitions,
+            )
+            if measurement.rows != serial.rows or measurement.work != serial.work:
+                raise AssertionError(
+                    f"{backend} x{count} diverged from serial: "
+                    f"rows {measurement.rows} vs {serial.rows}, "
+                    f"work {measurement.work} vs {serial.work}"
+                )
+            points.append(ParallelPoint(backend, count, measurement, serial))
+    return ParallelSweep(query_name, scale, serial, tuple(points))
+
+
+def format_sweep(sweep: ParallelSweep) -> str:
+    lines = [
+        f"Parallel GApply — {sweep.query} execution phase, "
+        f"TPC-H scale {sweep.scale}",
+        "",
+        f"serial: {sweep.serial.elapsed * 1e3:.1f} ms, "
+        f"work {sweep.serial.work} (identical for every row below)",
+        "",
+        f"{'backend':<10} {'workers':>7} {'elapsed':>10} {'speedup':>9} "
+        f"{'rows':>7}",
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"{point.backend:<10} {point.workers:>7} "
+            f"{point.measurement.elapsed * 1e3:>8.1f}ms "
+            f"{point.speedup:>8.2f}x {point.measurement.rows:>7}"
+        )
+    return "\n".join(lines)
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.parallel", description=__doc__
+    )
+    parser.add_argument("scale", nargs="?", type=float, default=DEFAULT_SCALE)
+    parser.add_argument(
+        "--workers",
+        default=",".join(str(w) for w in DEFAULT_WORKERS),
+        help="comma-separated worker counts to sweep",
+    )
+    parser.add_argument(
+        "--backends",
+        default=",".join(DEFAULT_BACKENDS),
+        help="comma-separated backends (thread,process)",
+    )
+    parser.add_argument("--query", default=DEFAULT_QUERY)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--json", default=None, help="also write the measurement JSON here"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = _parse_args(argv)
+    sweep = run_parallel_sweep(
+        scale=args.scale,
+        workers=tuple(int(w) for w in args.workers.split(",") if w),
+        backends=tuple(b for b in args.backends.split(",") if b),
+        query_name=args.query,
+        repetitions=args.repetitions,
+    )
+    print(format_sweep(sweep))
+    if args.json:
+        write_measurements_json(
+            args.json,
+            sweep.named_measurements(),
+            benchmark="parallel_gapply",
+            query=sweep.query,
+            scale=sweep.scale,
+            repetitions=args.repetitions,
+        )
+        print(f"\nwrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

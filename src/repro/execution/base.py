@@ -6,13 +6,25 @@ compiled to closures against child schemas at construction) and can be
 re-executed many times — GApply re-runs its per-group plan once per group,
 and Apply re-runs its inner plan once per outer row, so cheap re-execution
 is a load-bearing property here.
+
+Two further contracts that parallel GApply execution relies on
+(:mod:`repro.execution.parallel`):
+
+* **re-entrancy** — ``execute`` may be called concurrently on the same
+  operator instance with *distinct* contexts; all per-execution state must
+  live in the generator frame (or the context), never on ``self``. Every
+  operator in this package follows that rule, which is what lets the
+  thread backend evaluate one per-group plan over many groups at once.
+* **picklability** — a plan is shipped to process-pool workers by value
+  (via cloudpickle, which handles the compiled expression closures), so
+  operators must not hold OS resources (sockets, file handles) directly.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.execution.context import Counters, ExecutionContext
+from repro.execution.context import ExecutionContext
 from repro.storage.schema import Schema
 from repro.storage.table import Row, Table
 

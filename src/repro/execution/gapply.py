@@ -21,6 +21,15 @@ Both partitioning strategies are implemented:
 
 Rows with NULL grouping values form a single NULL group, matching GROUP BY.
 
+Beyond the paper's nested-loops execution phase, the operator can fan the
+independent groups out to a worker pool (``parallelism``/``backend`` knobs;
+see :mod:`repro.execution.parallel`): groups are batched in partition
+order, workers evaluate the per-group plan with local counters, and the
+parent merges results in dispatch order — output rows and merged work
+counters are identical to the serial run, which remains the guaranteed
+fallback (``backend="serial"``, or automatically when a pool cannot be
+brought up or we are already inside a worker).
+
 The partition phase **materializes** each buffered row (an O(width) copy)
 rather than retaining references into the input stream. A disk-based engine
 pays width-proportional I/O to write partitions (the paper's client-side
@@ -32,11 +41,20 @@ projection-before-GApply rule, so the copy keeps the cost model honest.
 from __future__ import annotations
 
 import operator
-from typing import Iterator, Sequence
+import warnings
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import PlanError
 from repro.execution.base import PhysicalOperator
 from repro.execution.context import ExecutionContext
+from repro.execution.parallel import (
+    BACKENDS,
+    SERIAL_BACKEND,
+    ParallelUnavailable,
+    WorkerPool,
+    parallel_worker_active,
+    run_groups_parallel,
+)
 from repro.storage.table import Row
 from repro.storage.types import grouping_key
 
@@ -61,6 +79,10 @@ class PGApply(PhysicalOperator):
     ``per_group`` is a physical plan whose GroupScan leaf reads the relation
     bound to ``group_variable``. Its output is crossed with the group's key
     values: output rows are ``key_values + pgq_row``.
+
+    ``parallelism``/``backend`` select the execution-phase worker pool
+    (serial nested loops by default); ``batch_size`` overrides how many
+    groups ride in one dispatch to a worker.
     """
 
     def __init__(
@@ -70,17 +92,31 @@ class PGApply(PhysicalOperator):
         per_group: PhysicalOperator,
         group_variable: str = "group",
         partitioning: str = HASH_PARTITION,
+        parallelism: int = 1,
+        backend: str = SERIAL_BACKEND,
+        batch_size: int | None = None,
     ):
         if partitioning not in (HASH_PARTITION, SORT_PARTITION):
             raise PlanError(
                 f"unknown GApply partitioning {partitioning!r}; "
                 f"use {HASH_PARTITION!r} or {SORT_PARTITION!r}"
             )
+        if backend not in BACKENDS:
+            raise PlanError(
+                f"unknown GApply backend {backend!r}; use one of {BACKENDS}"
+            )
+        if parallelism < 1:
+            raise PlanError(
+                f"GApply parallelism must be >= 1, got {parallelism}"
+            )
         self.outer = outer
         self.grouping_columns = tuple(grouping_columns)
         self.per_group = per_group
         self.group_variable = group_variable
         self.partitioning = partitioning
+        self.parallelism = parallelism
+        self.backend = backend
+        self.batch_size = batch_size
         self._key_positions = outer.schema.indices_of(grouping_columns)
         if len(self._key_positions) == 1:
             position = self._key_positions[0]
@@ -151,31 +187,87 @@ class PGApply(PhysicalOperator):
     # ------------------------------------------------------------------
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
-        counters = ctx.counters
         if self.partitioning == HASH_PARTITION:
             partitions = self._partition_hash(ctx)
         else:
             partitions = self._partition_sort(ctx)
+        if (
+            self.backend == SERIAL_BACKEND
+            or self.parallelism <= 1
+            or parallel_worker_active()
+        ):
+            # The reference path: the paper's nested-loops execution phase,
+            # streaming group by group. Also taken inside pool workers so a
+            # nested parallel GApply never spawns a pool of its own.
+            return self._execute_serial(ctx, partitions)
+        return self._execute_parallel(ctx, partitions)
+
+    def _execute_serial(
+        self,
+        ctx: ExecutionContext,
+        partitions: Iterable[tuple[tuple, list[Row]]],
+        pre_counted: bool = False,
+    ) -> Iterator[Row]:
+        counters = ctx.counters
         per_group = self.per_group
         variable = self.group_variable
         # One child context, rebound per group: each group's per-group plan
         # is fully drained before the next binding, so mutation is safe and
         # avoids a dict copy per group.
         relations = dict(ctx.relations)
-        from repro.execution.context import ExecutionContext
-
         group_ctx = ExecutionContext(ctx.counters, ctx.scalars, relations)
         for key_values, group_rows in partitions:
-            counters.groups_partitioned += 1
+            if not pre_counted:
+                counters.groups_partitioned += 1
             counters.group_executions += 1
             relations[variable] = group_rows
             for pgq_row in per_group.execute(group_ctx):
                 counters.rows += 1
                 yield key_values + pgq_row
 
+    def _execute_parallel(
+        self,
+        ctx: ExecutionContext,
+        partitions: Iterable[tuple[tuple, list[Row]]],
+    ) -> Iterator[Row]:
+        counters = ctx.counters
+        groups = list(partitions)
+        counters.groups_partitioned += len(groups)
+        rows = run_groups_parallel(
+            WorkerPool.create(self.backend, self.parallelism),
+            self.per_group,
+            self.group_variable,
+            ctx.scalars,
+            ctx.relations,
+            groups,
+            counters,
+            self.batch_size,
+        )
+        # Force pool bring-up now: if the backend cannot start here (plan
+        # not picklable, fork refused), fall back to the serial phase over
+        # the already-materialized groups — same rows, same counters.
+        try:
+            head = next(rows)
+        except StopIteration:
+            return
+        except ParallelUnavailable as exc:
+            warnings.warn(
+                f"GApply {self.backend} backend unavailable, "
+                f"falling back to serial execution: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            yield from self._execute_serial(ctx, groups, pre_counted=True)
+            return
+        yield head
+        yield from rows
+
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.outer, self.per_group)
 
     def label(self) -> str:
         keys = ", ".join(self.grouping_columns)
-        return f"GApply:{self.partitioning}[{keys}; ${self.group_variable}]"
+        base = f"GApply:{self.partitioning}[{keys}; ${self.group_variable}]"
+        if self.backend != SERIAL_BACKEND and self.parallelism > 1:
+            return f"{base} ({self.backend} x{self.parallelism})"
+        return base

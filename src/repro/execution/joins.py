@@ -191,7 +191,7 @@ class PHashJoin(PhysicalOperator):
 
     def label(self) -> str:
         keys = ", ".join(
-            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+            f"{lk}={rk}" for lk, rk in zip(self.left_keys, self.right_keys)
         )
         residual = "" if self.residual is None else f" AND {self.residual}"
         return f"HashJoin:{self.kind}[{keys}{residual}]"

@@ -1,0 +1,354 @@
+"""Worker pools for GApply's parallel execution phase.
+
+The paper executes GApply's execution phase "in a nested loops fashion" —
+one group at a time. But groups are independent by construction: the
+per-group query sees only the rows bound to its ``$group`` relation, so
+the partition phase is a natural shard boundary and the execution phase is
+embarrassingly parallel (the observation the data-cube literature makes
+about all group-wise operators). This module provides the pool abstraction
+:class:`~repro.execution.gapply.PGApply` dispatches group batches to.
+
+Three backends, selected by name:
+
+* ``serial`` — run batches inline on the calling thread. The reference
+  implementation the other two must match byte for byte.
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`. Shares
+  the parent's heap, so group rows and the per-group plan are used without
+  copying; on CPython the GIL serializes the interpreter, so this buys
+  wall-clock only when per-group evaluation releases the GIL (C-level
+  sorts/hashes over large groups) — see the README's GIL caveat.
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`. Each
+  worker process receives the pickled per-group plan (plus the parent's
+  parameter bindings) once at pool start-up, then group batches as plain
+  picklable rows; it returns result rows plus a :class:`Counters` snapshot
+  that the parent merges deterministically. True CPU parallelism, at the
+  price of pickling the plan (compiled expression closures need
+  ``cloudpickle``; we fall back to stdlib ``pickle`` and report clearly
+  when neither can serialize the plan).
+
+Determinism contract (load-bearing for the equivalence tests): batches are
+dispatched in partition order and results are consumed in submission
+order, so output rows arrive in exactly the serial order; worker counters
+start at zero and are merged with :meth:`Counters.merge` (sums, max for
+peaks), so the merged ``total_work`` equals the serial run's.
+
+Workers never nest pools: a parallel GApply inside a per-group plan
+detects that it is running inside a worker (:func:`parallel_worker_active`)
+and falls back to the serial path, preventing fork bombs and thread
+oversubscription.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ExecutionError
+from repro.execution.base import PhysicalOperator
+from repro.execution.context import Counters, ExecutionContext
+from repro.storage.table import Row
+
+SERIAL_BACKEND = "serial"
+THREAD_BACKEND = "thread"
+PROCESS_BACKEND = "process"
+BACKENDS = (SERIAL_BACKEND, THREAD_BACKEND, PROCESS_BACKEND)
+
+#: One partitioned group: (grouping-key values, the group's buffered rows).
+Group = tuple[tuple, list]
+
+#: A worker result: (output rows, Counters.snapshot() of the work done).
+BatchResult = tuple[list, dict]
+
+#: Target number of batches per worker; >1 so a skewed group distribution
+#: still load-balances instead of leaving workers idle behind one big batch.
+BATCHES_PER_WORKER = 4
+
+
+class ParallelUnavailable(ExecutionError):
+    """A parallel backend cannot be brought up in this environment.
+
+    Raised at pool bring-up (plan not picklable, fork refused, thread
+    limit). PGApply catches exactly this and falls back to the serial
+    execution phase, which is guaranteed equivalent.
+    """
+
+
+def default_parallelism() -> int:
+    """Worker count to use when the caller says "parallel" without a number:
+    the CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# The unit of worker work
+# ---------------------------------------------------------------------------
+
+
+def execute_group_batch(
+    plan: PhysicalOperator,
+    group_variable: str,
+    scalars: Mapping[str, Any],
+    relations: Mapping[str, Sequence[Row]],
+    batch: Sequence[Group],
+) -> BatchResult:
+    """Run the per-group plan over each group in ``batch``.
+
+    Work is counted into a fresh :class:`Counters` (merged by the parent),
+    mirroring the serial execution phase exactly: one ``group_executions``
+    tick per group, one ``rows`` tick per emitted row, plus whatever the
+    per-group plan's own operators count.
+    """
+    counters = Counters()
+    bound = dict(relations)
+    ctx = ExecutionContext(counters, scalars, bound)
+    out: list[Row] = []
+    append = out.append
+    for key_values, group_rows in batch:
+        counters.group_executions += 1
+        bound[group_variable] = group_rows
+        for pgq_row in plan.execute(ctx):
+            counters.rows += 1
+            append(key_values + pgq_row)
+    return out, counters.snapshot()
+
+
+def make_batches(
+    groups: Sequence[Group], parallelism: int, batch_size: int | None = None
+) -> list[list[Group]]:
+    """Chunk groups into dispatch batches, preserving partition order."""
+    if batch_size is None:
+        batch_size = max(
+            1, -(-len(groups) // max(1, parallelism * BATCHES_PER_WORKER))
+        )
+    if batch_size < 1:
+        raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
+    return [
+        list(groups[start : start + batch_size])
+        for start in range(0, len(groups), batch_size)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state (nested-pool suppression, process payload)
+# ---------------------------------------------------------------------------
+
+_thread_worker = threading.local()
+_process_payload: tuple | None = None
+_in_process_worker = False
+
+
+def parallel_worker_active() -> bool:
+    """True inside a thread- or process-pool worker of this module."""
+    return _in_process_worker or getattr(_thread_worker, "active", False)
+
+
+def _run_batch_in_thread(
+    plan: PhysicalOperator,
+    group_variable: str,
+    scalars: Mapping[str, Any],
+    relations: Mapping[str, Sequence[Row]],
+    batch: Sequence[Group],
+) -> BatchResult:
+    _thread_worker.active = True
+    try:
+        return execute_group_batch(plan, group_variable, scalars, relations, batch)
+    finally:
+        _thread_worker.active = False
+
+
+def _init_process_worker(payload: bytes) -> None:
+    """Process-pool initializer: unpickle the shipped plan exactly once."""
+    global _process_payload, _in_process_worker
+    _process_payload = _plan_pickler().loads(payload)
+    _in_process_worker = True
+
+
+def _run_batch_in_process(batch: Sequence[Group]) -> BatchResult:
+    assert _process_payload is not None, "worker initializer did not run"
+    plan, group_variable, scalars, relations = _process_payload
+    return execute_group_batch(plan, group_variable, scalars, relations, batch)
+
+
+def _plan_pickler():
+    """cloudpickle if present (handles the compiled expression closures);
+    stdlib pickle otherwise — callers get :class:`ParallelUnavailable` with
+    a clear message if the plan does not survive it."""
+    try:
+        import cloudpickle
+
+        return cloudpickle
+    except ImportError:  # pragma: no cover - cloudpickle is usually present
+        return pickle
+
+
+# ---------------------------------------------------------------------------
+# The pools
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Executes group batches; see the module docstring for the contract.
+
+    ``run`` is a generator: results stream back in submission order, and
+    abandoning the iterator (e.g. a LIMIT above GApply stops consuming)
+    releases the underlying executor via the generator-close protocol.
+    """
+
+    backend = SERIAL_BACKEND
+
+    def __init__(self, parallelism: int = 1):
+        if parallelism < 1:
+            raise ExecutionError(
+                f"parallelism must be >= 1, got {parallelism}"
+            )
+        self.parallelism = parallelism
+
+    def run(
+        self,
+        plan: PhysicalOperator,
+        group_variable: str,
+        scalars: Mapping[str, Any],
+        relations: Mapping[str, Sequence[Row]],
+        batches: Iterable[Sequence[Group]],
+    ) -> Iterator[BatchResult]:
+        for batch in batches:
+            yield execute_group_batch(
+                plan, group_variable, scalars, relations, batch
+            )
+
+    @staticmethod
+    def create(backend: str, parallelism: int | None = None) -> "WorkerPool":
+        """Factory keyed by backend name (the PGApply/PlannerOptions knob)."""
+        if parallelism is None:
+            parallelism = default_parallelism()
+        if backend == SERIAL_BACKEND:
+            return WorkerPool(parallelism)
+        if backend == THREAD_BACKEND:
+            return ThreadWorkerPool(parallelism)
+        if backend == PROCESS_BACKEND:
+            return ProcessWorkerPool(parallelism)
+        raise ExecutionError(
+            f"unknown GApply backend {backend!r}; use one of {BACKENDS}"
+        )
+
+
+class ThreadWorkerPool(WorkerPool):
+    """Thread-pool backend: shared heap, GIL-bound interpretation."""
+
+    backend = THREAD_BACKEND
+
+    def run(self, plan, group_variable, scalars, relations, batches):
+        from concurrent.futures import ThreadPoolExecutor
+
+        batches = list(batches)
+        if not batches:
+            return
+        try:
+            executor = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="gapply-worker",
+            )
+        except RuntimeError as exc:  # thread limit reached
+            raise ParallelUnavailable(
+                f"cannot start thread pool: {exc}"
+            ) from exc
+        try:
+            futures = [
+                executor.submit(
+                    _run_batch_in_thread,
+                    plan,
+                    group_variable,
+                    scalars,
+                    relations,
+                    batch,
+                )
+                for batch in batches
+            ]
+            for future in futures:
+                yield future.result()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Process-pool backend: pickled plan shipped once per worker."""
+
+    backend = PROCESS_BACKEND
+
+    def run(self, plan, group_variable, scalars, relations, batches):
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        batches = list(batches)
+        if not batches:
+            return
+        try:
+            payload = _plan_pickler().dumps(
+                (plan, group_variable, dict(scalars), dict(relations))
+            )
+        except Exception as exc:
+            raise ParallelUnavailable(
+                "per-group plan is not picklable for the process backend "
+                f"({type(exc).__name__}: {exc}); install cloudpickle or use "
+                f"backend={THREAD_BACKEND!r}/{SERIAL_BACKEND!r}"
+            ) from exc
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.parallelism, len(batches)),
+                initializer=_init_process_worker,
+                initargs=(payload,),
+            )
+        except (OSError, PermissionError, ValueError) as exc:
+            raise ParallelUnavailable(
+                f"cannot start process pool: {exc}"
+            ) from exc
+        try:
+            try:
+                futures = [
+                    executor.submit(_run_batch_in_process, batch)
+                    for batch in batches
+                ]
+                first = futures[0].result()
+            except BrokenExecutor as exc:
+                raise ParallelUnavailable(
+                    f"process pool died at bring-up: {exc}"
+                ) from exc
+            yield first
+            for future in futures[1:]:
+                yield future.result()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_groups_parallel(
+    pool: WorkerPool,
+    plan: PhysicalOperator,
+    group_variable: str,
+    scalars: Mapping[str, Any],
+    relations: Mapping[str, Sequence[Row]],
+    groups: Sequence[Group],
+    counters: Counters,
+    batch_size: int | None = None,
+) -> Iterator[Row]:
+    """Dispatch groups through ``pool``; merge counters; stream rows.
+
+    Raises :class:`ParallelUnavailable` before yielding anything if the
+    backend cannot be brought up, so the caller can still fall back to a
+    serial pass over the same ``groups``.
+    """
+    batches = make_batches(groups, pool.parallelism, batch_size)
+    results = pool.run(plan, group_variable, scalars, relations, batches)
+    # Force bring-up (pickling, executor start) before the first yield so
+    # ParallelUnavailable escapes while fallback is still possible.
+    try:
+        head = next(results)
+    except StopIteration:
+        return
+    for rows, snapshot in itertools.chain((head,), results):
+        counters.merge(Counters.from_snapshot(snapshot))
+        yield from rows

@@ -21,10 +21,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any
 
 from repro.algebra.expressions import (
-    AggregateCall,
     And,
     ColumnRef,
     Comparison,

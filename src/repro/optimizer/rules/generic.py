@@ -12,7 +12,6 @@ Section 4, "rules that do not need the per-group query to be traversed":
 
 from __future__ import annotations
 
-from repro.algebra.expressions import ColumnRef
 from repro.algebra.operators import (
     GApply,
     LogicalOperator,

@@ -35,7 +35,6 @@ predicates over the group variable.
 from __future__ import annotations
 
 from repro.algebra.expressions import (
-    ColumnRef,
     Expression,
     col,
     conjoin,

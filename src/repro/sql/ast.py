@@ -9,7 +9,7 @@ contain *subqueries*, which the binder decorrelates into
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 

@@ -39,7 +39,6 @@ from repro.algebra.expressions import (
     Or,
     Parameter,
     conjoin,
-    conjuncts,
 )
 from repro.algebra.operators import (
     Alias,

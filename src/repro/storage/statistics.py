@@ -138,6 +138,11 @@ def _build_histogram(
     values: Sequence[float], low: float, high: float, buckets: int
 ) -> tuple[HistogramBucket, ...]:
     width = (high - low) / buckets
+    if width <= 0 or not math.isfinite(width):
+        # high > low can still yield a zero width (subnormal range
+        # underflowing the division) or an infinite one (range overflow);
+        # a single bucket spanning the whole range is the honest summary.
+        return (HistogramBucket(low, high, len(values)),)
     counts = [0] * buckets
     for value in values:
         index = int((value - low) / width)

@@ -14,7 +14,7 @@ GApply operator the rule rewrites.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ adds the matching ORDER BY / union order).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import XmlPublishError

@@ -40,7 +40,7 @@ carry no sibling-order annotations beyond key-based clustering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import XmlPublishError
 

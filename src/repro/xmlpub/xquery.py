@@ -28,7 +28,7 @@ Example (the paper's Q1)::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import XmlPublishError

@@ -10,13 +10,10 @@ from repro.algebra.expressions import (
     Arithmetic,
     ArithmeticOp,
     CaseWhen,
-    ColumnRef,
-    Comparison,
     ComparisonOp,
     FunctionCall,
     InList,
     IsNull,
-    Literal,
     Negate,
     Not,
     Or,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.expressions import col, eq, gt, lit
+from repro.algebra.expressions import col, gt, lit
 from repro.errors import PlanError
 from repro.execution.base import PMaterialized, run_plan
 from repro.execution.context import ExecutionContext

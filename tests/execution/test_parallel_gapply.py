@@ -1,0 +1,379 @@
+"""Equivalence suite for GApply's parallel execution phase.
+
+The contract under test (repro.execution.parallel): for every partition
+strategy and every backend, the parallel execution phase must be
+indistinguishable from the serial reference — same rows, same row order,
+same NULL-group handling, and identical merged work counters (parallelism
+may change *when* work happens, never *how much*). Inputs are randomized
+(seeded) so the suite covers skewed group sizes, NULL keys and duplicate
+rows, not just the handcrafted cases of test_gapply.py.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import col, count_star, gt, lit
+from repro.errors import ExecutionError, PlanError
+from repro.execution.aggregates import PHashAggregate
+from repro.execution.base import PMaterialized, run_plan
+from repro.execution.basic import PFilter, PProject
+from repro.execution.context import Counters, ExecutionContext
+from repro.execution.gapply import HASH_PARTITION, SORT_PARTITION, PGApply
+from repro.execution.parallel import (
+    BACKENDS,
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+    THREAD_BACKEND,
+    ParallelUnavailable,
+    WorkerPool,
+    execute_group_batch,
+    make_batches,
+    parallel_worker_active,
+)
+from repro.execution.scans import PGroupScan
+from repro.optimizer.planner import PlannerOptions
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+PARTITIONINGS = (HASH_PARTITION, SORT_PARTITION)
+PARALLEL_BACKENDS = (THREAD_BACKEND, PROCESS_BACKEND)
+
+SCHEMA = Schema(
+    (
+        Column("g", DataType.INTEGER, "t"),
+        Column("h", DataType.STRING, "t"),
+        Column("v", DataType.FLOAT, "t"),
+    )
+)
+
+
+def random_rows(seed: int, count: int = 120) -> list[tuple]:
+    """Random rows with NULL keys, duplicates and skewed group sizes."""
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(count):
+        key = rng.choice([None, 1, 1, 2, 3, 3, 3, 4, 5, 6, 7, 8])
+        rows.append(
+            (
+                key,
+                rng.choice(["x", "y", "z"]),
+                round(rng.uniform(0.0, 100.0), 2),
+            )
+        )
+    # Force some exact duplicate rows (multiset semantics).
+    rows.extend(rows[:5])
+    rng.shuffle(rows)
+    return rows
+
+
+def filter_project_pgq():
+    return PProject(
+        PFilter(PGroupScan("grp", SCHEMA), gt(col("v"), lit(50.0))),
+        ((col("h"), "h"), (col("v"), "v")),
+    )
+
+
+def aggregate_pgq():
+    return PHashAggregate(
+        PFilter(PGroupScan("grp", SCHEMA), gt(col("v"), lit(25.0))),
+        (),
+        (count_star("n"),),
+    )
+
+
+def run_with_counters(plan) -> tuple[list[tuple], Counters]:
+    ctx = ExecutionContext()
+    return run_plan(plan, ctx), ctx.counters
+
+
+def build(pgq, partitioning, backend=SERIAL_BACKEND, parallelism=1, **kwargs):
+    return PGApply(
+        PMaterialized(SCHEMA, random_rows(seed=7)),
+        ["g"],
+        pgq,
+        "grp",
+        partitioning,
+        parallelism=parallelism,
+        backend=backend,
+        **kwargs,
+    )
+
+
+class TestEquivalence:
+    """Parallel output == serial output, bit for bit, for every knob."""
+
+    @pytest.mark.parametrize("partitioning", PARTITIONINGS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("pgq_factory", [filter_project_pgq, aggregate_pgq])
+    def test_rows_order_and_counters_match_serial(
+        self, partitioning, backend, pgq_factory
+    ):
+        serial_rows, serial_counters = run_with_counters(
+            build(pgq_factory(), partitioning)
+        )
+        parallel_rows, parallel_counters = run_with_counters(
+            build(pgq_factory(), partitioning, backend, parallelism=4)
+        )
+        # Exact order equality — stronger than order-after-normalization,
+        # because batches are merged in dispatch order.
+        assert parallel_rows == serial_rows
+        assert parallel_counters.total_work == serial_counters.total_work
+        assert parallel_counters.snapshot() == serial_counters.snapshot()
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("parallelism", [2, 3, 8])
+    def test_every_worker_count_matches(self, backend, parallelism):
+        serial_rows, serial_counters = run_with_counters(
+            build(aggregate_pgq(), HASH_PARTITION)
+        )
+        rows, counters = run_with_counters(
+            build(aggregate_pgq(), HASH_PARTITION, backend, parallelism)
+        )
+        assert rows == serial_rows
+        assert counters.snapshot() == serial_counters.snapshot()
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_null_group_survives_parallel_dispatch(self, backend):
+        rows, _ = run_with_counters(
+            build(aggregate_pgq(), HASH_PARTITION, backend, parallelism=2)
+        )
+        null_groups = [row for row in rows if row[0] is None]
+        serial_rows, _ = run_with_counters(build(aggregate_pgq(), HASH_PARTITION))
+        assert null_groups == [row for row in serial_rows if row[0] is None]
+        assert len(null_groups) == 1  # all NULL keys form exactly one group
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_explicit_batch_size_keeps_equivalence(self, backend):
+        serial_rows, serial_counters = run_with_counters(
+            build(filter_project_pgq(), SORT_PARTITION)
+        )
+        rows, counters = run_with_counters(
+            build(
+                filter_project_pgq(),
+                SORT_PARTITION,
+                backend,
+                parallelism=2,
+                batch_size=1,
+            )
+        )
+        assert rows == serial_rows
+        assert counters.snapshot() == serial_counters.snapshot()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_inputs_roundtrip(self, seed):
+        rows_in = random_rows(seed)
+        reference = None
+        for partitioning in PARTITIONINGS:
+            for backend in BACKENDS:
+                plan = PGApply(
+                    PMaterialized(SCHEMA, rows_in),
+                    ["g", "h"],
+                    aggregate_pgq(),
+                    "grp",
+                    partitioning,
+                    parallelism=3,
+                    backend=backend,
+                )
+                result = sorted(run_plan(plan), key=repr)
+                if reference is None:
+                    reference = result
+                else:
+                    assert result == reference
+
+
+class TestSqlLevel:
+    """The knobs ride PlannerOptions / api.Database through real SQL."""
+
+    GAPPLY_SQL = """
+        select gapply(
+            select p_name, p_retailprice from g
+            where p_retailprice > (select avg(p_retailprice) from g)
+        ) as (name, price)
+        from partsupp, part
+        where ps_partkey = p_partkey
+        group by ps_suppkey : g
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_database_knobs_equivalent(self, parts_db, backend):
+        serial = parts_db.sql(self.GAPPLY_SQL)
+        parallel = parts_db.sql(self.GAPPLY_SQL, parallelism=4, backend=backend)
+        assert parallel.rows == serial.rows
+        assert (
+            parallel.counters.total_work == serial.counters.total_work
+        )
+        assert parallel.counters.snapshot() == serial.counters.snapshot()
+
+    def test_bare_parallelism_implies_process_backend(self, parts_db):
+        result = parts_db.sql(self.GAPPLY_SQL, parallelism=2)
+        gapply = _find_gapply(result.physical_plan)
+        assert gapply.backend == PROCESS_BACKEND
+        assert gapply.parallelism == 2
+
+    # A pure-aggregation PGQ gets rewritten GApply -> groupby, so no
+    # PGApply is ever built; the api layer must reject bad knobs anyway.
+    GROUPBY_SQL = (
+        "select gapply(select count(*) from g) as (n) "
+        "from part group by p_brand : g"
+    )
+
+    @pytest.mark.parametrize("sql", [GAPPLY_SQL, GROUPBY_SQL])
+    def test_bad_knobs_rejected_regardless_of_plan_shape(self, parts_db, sql):
+        with pytest.raises(PlanError, match="unknown GApply backend"):
+            parts_db.sql(sql, backend="bogus")
+        with pytest.raises(PlanError, match="parallelism must be >= 1"):
+            parts_db.sql(sql, parallelism=0)
+
+    def test_planner_options_reach_the_operator(self, parts_db):
+        result = parts_db.sql(
+            self.GAPPLY_SQL,
+            planner_options=PlannerOptions(
+                gapply_backend=THREAD_BACKEND,
+                gapply_parallelism=3,
+                gapply_batch_size=2,
+            ),
+        )
+        gapply = _find_gapply(result.physical_plan)
+        assert gapply.backend == THREAD_BACKEND
+        assert gapply.parallelism == 3
+        assert gapply.batch_size == 2
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_tpch_paper_queries_equivalent(
+        self, tiny_tpch_db, backend, query_name
+    ):
+        from repro.workloads.queries import query_by_name
+
+        sql = query_by_name(query_name).gapply_sql
+        serial = tiny_tpch_db.sql(sql)
+        parallel = tiny_tpch_db.sql(sql, parallelism=4, backend=backend)
+        assert parallel.rows == serial.rows
+        assert parallel.counters.snapshot() == serial.counters.snapshot()
+
+
+@pytest.fixture(scope="module")
+def tiny_tpch_db():
+    from repro.api import Database
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    db = Database()
+    load_tpch(db.catalog, TpchConfig(scale=0.02))
+    return db
+
+
+def _find_gapply(plan) -> PGApply:
+    if isinstance(plan, PGApply):
+        return plan
+    for child in plan.children():
+        found = _find_gapply(child)
+        if found is not None:
+            return found
+    return None
+
+
+class TestWorkerPool:
+    def test_factory_by_backend_name(self):
+        for backend in BACKENDS:
+            pool = WorkerPool.create(backend, 2)
+            assert pool.backend == backend
+            assert pool.parallelism == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown GApply backend"):
+            WorkerPool.create("quantum", 2)
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ExecutionError, match="parallelism"):
+            WorkerPool(0)
+
+    def test_make_batches_preserves_order_and_covers_all(self):
+        groups = [((i,), [(i, "x", 1.0)]) for i in range(10)]
+        batches = make_batches(groups, parallelism=3)
+        flattened = [group for batch in batches for group in batch]
+        assert flattened == groups
+        assert all(batches)
+
+    def test_make_batches_explicit_size(self):
+        groups = [((i,), []) for i in range(7)]
+        batches = make_batches(groups, parallelism=2, batch_size=3)
+        assert [len(batch) for batch in batches] == [3, 3, 1]
+        with pytest.raises(ExecutionError):
+            make_batches(groups, parallelism=2, batch_size=0)
+
+    def test_execute_group_batch_counts_like_serial_phase(self):
+        rows = random_rows(seed=11, count=20)
+        groups = {}
+        for row in rows:
+            groups.setdefault(row[0], []).append(row)
+        batch = [((key,), grp) for key, grp in groups.items()]
+        out, snapshot = execute_group_batch(
+            aggregate_pgq(), "grp", {}, {}, batch
+        )
+        assert snapshot["group_executions"] == len(batch)
+        assert snapshot["rows"] >= len(out)
+        assert len(out) == len(batch)  # one aggregate row per group
+
+    def test_counters_snapshot_roundtrip(self):
+        counters = Counters(rows=5, comparisons=2, peak_partition_rows=9)
+        rebuilt = Counters.from_snapshot(counters.snapshot())
+        assert rebuilt.snapshot() == counters.snapshot()
+
+
+class TestGuards:
+    def test_unknown_backend_rejected_at_plan_time(self):
+        with pytest.raises(PlanError, match="backend"):
+            build(aggregate_pgq(), HASH_PARTITION, backend="quantum")
+
+    def test_nonpositive_parallelism_rejected_at_plan_time(self):
+        with pytest.raises(PlanError, match="parallelism"):
+            build(aggregate_pgq(), HASH_PARTITION, parallelism=0)
+
+    def test_label_names_pool(self):
+        serial = build(aggregate_pgq(), HASH_PARTITION)
+        parallel = build(
+            aggregate_pgq(), HASH_PARTITION, THREAD_BACKEND, parallelism=4
+        )
+        assert "thread x4" in parallel.label()
+        assert "thread" not in serial.label()
+
+    def test_worker_flag_forces_serial_path(self, monkeypatch):
+        """Inside a pool worker a nested parallel GApply must not spawn a
+        pool of its own (fork bombs, thread oversubscription)."""
+        from repro.execution import parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module._thread_worker, "active", True, raising=False
+        )
+        assert parallel_worker_active()
+
+        def explode(*args, **kwargs):
+            raise AssertionError("worker must not create a nested pool")
+
+        monkeypatch.setattr(WorkerPool, "create", staticmethod(explode))
+        plan = build(aggregate_pgq(), HASH_PARTITION, THREAD_BACKEND, 4)
+        serial_rows = run_plan(build(aggregate_pgq(), HASH_PARTITION))
+        assert run_plan(plan) == serial_rows
+
+    def test_unpicklable_plan_falls_back_to_serial(self, monkeypatch):
+        """If the plan cannot be shipped to processes, PGApply warns and
+        runs the serial phase — same rows, same counters."""
+        import pickle
+
+        from repro.execution import parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_plan_pickler", lambda: pickle)
+        serial_rows, serial_counters = run_with_counters(
+            build(filter_project_pgq(), HASH_PARTITION)
+        )
+        plan = build(filter_project_pgq(), HASH_PARTITION, PROCESS_BACKEND, 4)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            rows, counters = run_with_counters(plan)
+        assert rows == serial_rows
+        assert counters.snapshot() == serial_counters.snapshot()
+
+    def test_parallel_unavailable_is_execution_error(self):
+        assert issubclass(ParallelUnavailable, ExecutionError)

@@ -11,7 +11,6 @@ from repro.algebra.expressions import (
     col,
     count_star,
     eq,
-    gt,
     le,
     lit,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.expressions import avg, col, count_star, eq, gt, lit
+from repro.algebra.expressions import avg, col, eq, lit
 from repro.algebra.operators import (
     GApply,
     GroupBy,

@@ -13,8 +13,6 @@ from repro.algebra.operators import (
     JoinKind,
     Limit,
     OrderBy,
-    Project,
-    Prune,
     Select,
     TableScan,
     Union,

@@ -1,7 +1,5 @@
 """Unit tests for Section-4 property derivations."""
 
-import pytest
-
 from repro.algebra.expressions import (
     Or,
     avg,

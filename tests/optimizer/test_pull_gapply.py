@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.algebra.expressions import col, count_star, eq, gt, min_
+from repro.algebra.expressions import col, count_star, eq, gt
 from repro.algebra.operators import (
     Apply,
     GApply,
     GroupBy,
     GroupScan,
     Join,
-    Project,
     Select,
     TableScan,
 )

@@ -9,7 +9,7 @@ results.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algebra.expressions import col, eq, ge, le, lit
+from repro.algebra.expressions import col, eq, lit
 from repro.algebra.operators import Join, Select, TableScan
 from repro.execution.base import run_plan
 from repro.optimizer.planner import PlannerOptions, plan_physical

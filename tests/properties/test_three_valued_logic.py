@@ -1,6 +1,6 @@
 """Property-based tests: Kleene-logic laws of the expression evaluator."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.algebra.expressions import (

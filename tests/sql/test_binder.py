@@ -10,11 +10,9 @@ from repro.algebra.operators import (
     GApply,
     GroupBy,
     GroupScan,
-    Join,
     Limit,
     OrderBy,
     Project,
-    Prune,
     Select,
     TableScan,
     UnionAll,

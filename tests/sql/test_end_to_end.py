@@ -6,8 +6,6 @@ fixture (12 parts; supplier 100+i supplies parts with partkey % 3 == i;
 part i has price 10*i, brand A iff i even, size i % 4).
 """
 
-import pytest
-
 from repro.storage import DataType
 
 

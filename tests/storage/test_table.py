@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConstraintError, SchemaError, TypeCheckError
 from repro.storage.table import Table, table_from_rows
-from repro.storage.schema import Column, Schema
 from repro.storage.types import DataType
 
 

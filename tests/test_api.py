@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import Database, QueryResult
+from repro.api import QueryResult
 from repro.errors import CatalogError
 from repro.optimizer.planner import PlannerOptions
 from repro.storage import DataType

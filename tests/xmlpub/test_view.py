@@ -6,7 +6,6 @@ from repro.errors import XmlPublishError
 from repro.xmlpub.view import (
     XmlChildEdge,
     XmlField,
-    XmlView,
     XmlViewNode,
     tpch_supplier_view,
 )
