@@ -168,7 +168,7 @@ class Database:
         report: OptimizationReport | None = None
         chosen = logical
         if optimize:
-            report = Optimizer(self.catalog).optimize(logical)
+            report = self._optimizer(planner_options).optimize(logical)
             chosen = report.best
         physical = Planner(self.catalog, planner_options).plan(chosen)
         ctx = ExecutionContext()
@@ -181,6 +181,25 @@ class Database:
             physical_plan=physical,
             optimization=report,
         )
+
+    def _optimizer(self, planner_options: PlannerOptions | None) -> Optimizer:
+        """Build the optimizer honoring the rule knobs on planner options.
+
+        ``disabled_rules`` / ``optimizer_max_alternatives`` live on
+        :class:`PlannerOptions` so one object configures the whole plan
+        space; unknown rule names raise :class:`PlanError` here, before any
+        partial execution happens.
+        """
+        if planner_options is None:
+            return Optimizer(self.catalog)
+        try:
+            rules = planner_options.active_rules()
+        except KeyError as error:
+            raise PlanError(str(error)) from error
+        kwargs: dict[str, Any] = {}
+        if planner_options.optimizer_max_alternatives is not None:
+            kwargs["max_alternatives"] = planner_options.optimizer_max_alternatives
+        return Optimizer(self.catalog, rules, **kwargs)
 
     def explain(self, sql: str, optimize: bool = True) -> str:
         """The logical plan (optimized by default) as indented text."""

@@ -1,0 +1,59 @@
+"""Differential testing: random queries, a SQLite oracle, plan-space checks.
+
+The subsystem has four moving parts:
+
+* :mod:`repro.fuzz.generator` — seeded random schemas, data (skewed group
+  sizes, NULL-heavy columns, empty groups, FK chains) and random dialect
+  queries as ASTs;
+* :mod:`repro.fuzz.oracle` — runs the same query on an in-memory SQLite
+  mirror via :mod:`repro.sql.sqlite` and compares multisets;
+* :mod:`repro.fuzz.planspace` — runs the query under every planner
+  configuration (each rule disabled, all rules off, every backend) and
+  demands identical results;
+* :mod:`repro.fuzz.shrink` / :mod:`repro.fuzz.corpus` — minimize failures
+  and persist them as replayable JSON reproducers.
+
+``python -m repro.fuzz --seed 0 --n 500`` drives all of it; see
+:mod:`repro.fuzz.runner`.
+"""
+
+from repro.fuzz.corpus import CorpusCase, load_corpus, save_case
+from repro.fuzz.generator import FuzzCase, FuzzDatabase, generate_case
+from repro.fuzz.oracle import (
+    Mismatch,
+    compare_multisets,
+    normalize_row,
+    run_oracle,
+    sqlite_mirror,
+)
+from repro.fuzz.planspace import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    plan_configurations,
+    profile_configurations,
+)
+from repro.fuzz.runner import FuzzFailure, FuzzReport, run_case, run_fuzz
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "CorpusCase",
+    "FuzzCase",
+    "FuzzDatabase",
+    "FuzzFailure",
+    "FuzzReport",
+    "FULL_PROFILE",
+    "Mismatch",
+    "QUICK_PROFILE",
+    "compare_multisets",
+    "generate_case",
+    "load_corpus",
+    "normalize_row",
+    "plan_configurations",
+    "profile_configurations",
+    "run_case",
+    "run_fuzz",
+    "run_oracle",
+    "save_case",
+    "shrink_case",
+    "sqlite_mirror",
+]

@@ -1,0 +1,67 @@
+"""CLI driver: ``python -m repro.fuzz --seed 0 --n 500``.
+
+Exit status 0 means every case agreed with the SQLite oracle and across
+the whole plan space; 1 means at least one divergence (minimized
+reproducers are written to ``--corpus-dir`` when given, which is how CI
+surfaces them as artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.fuzz.planspace import FULL_PROFILE, QUICK_PROFILE
+from repro.fuzz.runner import run_fuzz
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing against SQLite and the plan space.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first seed (default 0)")
+    parser.add_argument("--n", type=int, default=500, help="number of cases")
+    parser.add_argument(
+        "--profile",
+        choices=[QUICK_PROFILE, FULL_PROFILE],
+        default=FULL_PROFILE,
+        help="planner-configuration coverage (default full)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="write minimized reproducers (JSON) into this directory",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing cases without minimizing them",
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=5,
+        help="stop after this many distinct failures (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    report = run_fuzz(
+        seed=args.seed,
+        n=args.n,
+        profile=args.profile,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        stop_after=args.stop_after,
+        progress=lambda message: print(message, flush=True),
+    )
+    elapsed = time.perf_counter() - start
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

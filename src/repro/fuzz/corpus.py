@@ -1,0 +1,118 @@
+"""Persistence for minimized fuzz reproducers.
+
+A corpus case is one JSON file under ``tests/fuzz_corpus/`` carrying the
+full failing input — schema, data, foreign keys, and the query as dialect
+SQL text — plus metadata about what failed. Replaying a case re-runs the
+*differential check itself* (engine vs. oracle vs. plan space), so the
+corpus doubles as a regression suite: every engine bug the fuzzer ever
+found stays fixed, or the replay test fails.
+
+Filenames are content-addressed (``fuzz-<kind>-<digest>.json``) so two
+shrinks of the same bug collide instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fuzz.generator import FuzzCase, FuzzColumn, FuzzDatabase, FuzzTable
+from repro.sql.parser import parse
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One reproducer loaded from (or bound for) the corpus directory."""
+
+    seed: int
+    kind: str
+    config: str | None
+    detail: str
+    sql: str
+    db: FuzzDatabase
+    path: Path | None = None
+
+    def to_fuzz_case(self) -> FuzzCase:
+        return FuzzCase(seed=self.seed, db=self.db, query=parse(self.sql))
+
+
+def _database_payload(db: FuzzDatabase) -> dict:
+    return {
+        "tables": [
+            {
+                "name": table.name,
+                "columns": [[c.name, c.dtype.value, c.role] for c in table.columns],
+                "primary_key": list(table.primary_key),
+                "rows": [list(row) for row in table.rows],
+            }
+            for table in db.tables
+        ],
+        "foreign_keys": [list(fk) for fk in db.foreign_keys],
+    }
+
+
+def _database_from_payload(payload: dict) -> FuzzDatabase:
+    tables = [
+        FuzzTable(
+            name=entry["name"],
+            columns=[
+                FuzzColumn(name, DataType(dtype), role)
+                for name, dtype, role in entry["columns"]
+            ],
+            rows=[tuple(row) for row in entry["rows"]],
+            primary_key=list(entry["primary_key"]),
+        )
+        for entry in payload["tables"]
+    ]
+    fks = [tuple(fk) for fk in payload.get("foreign_keys", [])]
+    return FuzzDatabase(tables, fks)
+
+
+def save_case(
+    case: FuzzCase,
+    kind: str,
+    detail: str,
+    directory: Path | str,
+    config: str | None = None,
+) -> Path:
+    """Write one reproducer; returns its (content-addressed) path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "seed": case.seed,
+        "kind": kind,
+        "config": config,
+        "detail": detail,
+        "sql": case.sql,
+        **_database_payload(case.db),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    path = directory / f"fuzz-{kind}-{digest}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_corpus(directory: Path | str) -> list[CorpusCase]:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    cases = []
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text())
+        cases.append(
+            CorpusCase(
+                seed=payload["seed"],
+                kind=payload["kind"],
+                config=payload.get("config"),
+                detail=payload.get("detail", ""),
+                sql=payload["sql"],
+                db=_database_from_payload(payload),
+                path=path,
+            )
+        )
+    return cases

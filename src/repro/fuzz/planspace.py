@@ -1,0 +1,95 @@
+"""Planner configurations for plan-space equivalence checking.
+
+The paper's claim is that every rewrite rule is semantics-preserving, so
+the strongest executable check is: run the same query under *every*
+planner configuration — each optimizer rule individually disabled, all
+rules off, no optimizer at all, both GApply partitioning strategies, no
+hash joins, no index access paths, and every execution backend — and
+demand identical normalized result multisets.
+
+Two profiles: ``FULL_PROFILE`` is the whole cross-product arm of the CLI
+fuzzer; ``QUICK_PROFILE`` keeps tier-1 test time bounded while still
+covering the rule families with distinct failure modes. Process-backend
+configs carry ``sample_every`` because pool spawn cost dwarfs the tiny
+fuzz databases — sampling every Nth case still exercises pickling and
+cross-process merge on dozens of cases per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.planner import PlannerOptions
+
+# Cap exploration per configuration: fuzz queries are small, and the full
+# alternative budget (128) just burns time re-deriving the same plans.
+FUZZ_MAX_ALTERNATIVES = 24
+
+
+def _options(**kwargs) -> PlannerOptions:
+    return PlannerOptions(optimizer_max_alternatives=FUZZ_MAX_ALTERNATIVES, **kwargs)
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """One point in the plan space to execute a query under."""
+
+    name: str
+    options: PlannerOptions = field(default_factory=_options)
+    optimize: bool = True
+    sample_every: int = 1  # run on every Nth case only
+
+
+def _rule_names() -> list[str]:
+    from repro.optimizer.rules import DEFAULT_RULES
+
+    return [rule.name for rule in DEFAULT_RULES]
+
+
+def plan_configurations(full: bool) -> list[PlanConfig]:
+    rules = _rule_names()
+    configs = [
+        PlanConfig("unoptimized", optimize=False),
+        PlanConfig("all-rules-off", _options(disabled_rules=tuple(rules))),
+        PlanConfig("sort-partitioning", _options(gapply_partitioning="sort")),
+        PlanConfig("nested-loop-joins", _options(prefer_hash_join=False)),
+        PlanConfig("no-indexes", _options(use_indexes=False)),
+        PlanConfig(
+            "thread-backend",
+            _options(gapply_backend="thread", gapply_parallelism=2),
+        ),
+        PlanConfig(
+            "process-backend",
+            _options(gapply_backend="process", gapply_parallelism=2),
+            sample_every=25,
+        ),
+    ]
+    if full:
+        disabled = rules
+    else:
+        # The rule families with genuinely different rewrite shapes; the
+        # rest are covered by all-rules-off and the nightly full profile.
+        disabled = [
+            "gapply_to_groupby",
+            "invariant_grouping",
+            "exists_group_selection",
+            "aggregate_group_selection",
+            "push_select_into_per_group",
+        ]
+    for name in disabled:
+        configs.append(PlanConfig(f"no-{name}", _options(disabled_rules=(name,))))
+    return configs
+
+
+#: Every configuration (the CLI default).
+FULL_PROFILE = "full"
+#: Bounded subset for tier-1 tests.
+QUICK_PROFILE = "quick"
+
+
+def profile_configurations(profile: str) -> list[PlanConfig]:
+    if profile == FULL_PROFILE:
+        return plan_configurations(full=True)
+    if profile == QUICK_PROFILE:
+        return plan_configurations(full=False)
+    raise ValueError(f"unknown fuzz profile {profile!r}")

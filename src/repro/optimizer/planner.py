@@ -83,6 +83,13 @@ class PlannerOptions:
     default is the paper's nested-loops phase and the reference the
     parallel backends must match row-for-row and counter-for-counter.
     ``gapply_batch_size`` overrides the groups-per-dispatch heuristic.
+
+    ``disabled_rules`` names optimizer rules (by their ``Rule.name``) that
+    :class:`~repro.api.Database` must leave out of the transformation
+    engine, and ``optimizer_max_alternatives`` caps its exploration; both
+    exist so the differential fuzzer (:mod:`repro.fuzz`) can walk the plan
+    space — every rule disabled one at a time, all rules off — and assert
+    that results never change. Unknown rule names raise at use time.
     """
 
     gapply_partitioning: str = HASH_PARTITION
@@ -91,6 +98,23 @@ class PlannerOptions:
     gapply_backend: str = SERIAL_BACKEND
     gapply_parallelism: int = 1
     gapply_batch_size: int | None = None
+    disabled_rules: tuple[str, ...] = ()
+    optimizer_max_alternatives: int | None = None
+
+    def active_rules(self):
+        """The default optimizer rule set minus ``disabled_rules``.
+
+        Returns ``None`` when nothing is disabled so callers can fall back
+        to the optimizer's own default (keeping reports comparable).
+        """
+        if not self.disabled_rules:
+            return None
+        from repro.optimizer.rules import DEFAULT_RULES, rule_by_name
+
+        for name in self.disabled_rules:
+            rule_by_name(name)  # raises KeyError for unknown names
+        disabled = set(self.disabled_rules)
+        return [rule for rule in DEFAULT_RULES if rule.name not in disabled]
 
 
 class Planner:

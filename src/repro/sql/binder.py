@@ -468,6 +468,14 @@ class Binder:
         operand = self._bind_scalar_in_subscope(node.operand, sub_scope, relations)
         inner_column = ColumnRef(inner.schema[0].qualified_name)
         test = Comparison(ComparisonOp.EQ, inner_column, operand)
+        if node.negated:
+            # SQL three-valued logic: ``x NOT IN S`` is UNKNOWN (so the row
+            # is filtered) when x is NULL and S is non-empty, or when S
+            # contains a NULL and no definite match. Widening the match
+            # test to "equal OR either side NULL" makes plain NOT EXISTS
+            # implement exactly that: any widened match kills the row,
+            # while an empty S keeps it.
+            test = Or(test, IsNull(inner_column), IsNull(operand))
         filtered = Select(inner, test)
         bindings = tuple(sub_scope.correlations)
         return Apply(plan, Exists(filtered, node.negated), bindings)

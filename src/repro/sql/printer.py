@@ -1,0 +1,168 @@
+"""AST -> SQL text in the engine's own dialect.
+
+The inverse of :mod:`repro.sql.parser`: ``parse(print_query(ast)) == ast``
+for every AST the parser can produce (modulo redundant parentheses, which
+the printer inserts liberally instead of tracking precedence).
+
+This exists for the differential fuzzer (:mod:`repro.fuzz`), which
+generates random :class:`~repro.sql.ast.AstQuery` trees and needs to
+
+* persist minimized reproducers as plain SQL text under
+  ``tests/fuzz_corpus/``, and
+* feed the *same* query text to the engine and to the SQLite oracle
+  (:mod:`repro.sql.sqlite`), so a mismatch is attributable to execution,
+  not to two divergent in-memory copies of the query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast as A
+
+
+def print_query(query: A.AstQuery) -> str:
+    """Render a full query (union chain + ORDER BY / LIMIT)."""
+    parts = []
+    for index, select in enumerate(query.selects):
+        if index:
+            parts.append("union all" if query.union_all else "union")
+        parts.append(print_select(select))
+    if query.order_by:
+        items = ", ".join(
+            ref if ascending else f"{ref} desc" for ref, ascending in query.order_by
+        )
+        parts.append(f"order by {items}")
+    if query.limit is not None:
+        parts.append(f"limit {query.limit}")
+    return " ".join(parts)
+
+
+def print_select(select: A.AstSelect) -> str:
+    parts = ["select"]
+    if select.distinct:
+        parts.append("distinct")
+    if select.gapply is not None:
+        inner = print_query(select.gapply.query)
+        clause = f"gapply({inner})"
+        if select.gapply.column_names:
+            clause += " as (" + ", ".join(select.gapply.column_names) + ")"
+        parts.append(clause)
+    else:
+        parts.append(", ".join(print_select_item(item) for item in select.items))
+    parts.append("from")
+    parts.append(", ".join(print_from_item(item) for item in select.from_items))
+    if select.where is not None:
+        parts.append("where " + print_expression(select.where))
+    if select.group_by:
+        clause = "group by " + ", ".join(select.group_by)
+        if select.group_variable is not None:
+            clause += f" : {select.group_variable}"
+        parts.append(clause)
+    if select.having is not None:
+        parts.append("having " + print_expression(select.having))
+    return " ".join(parts)
+
+
+def print_select_item(item: A.AstSelectItem) -> str:
+    if isinstance(item.expression, A.AstStar):
+        qualifier = item.expression.qualifier
+        star = f"{qualifier}.*" if qualifier else "*"
+        return star  # * takes no alias in the dialect
+    rendered = print_expression(item.expression)
+    if item.alias:
+        return f"{rendered} as {item.alias}"
+    return rendered
+
+
+def print_from_item(item: A.AstNode) -> str:
+    if isinstance(item, A.AstTableRef):
+        if item.alias and item.alias != item.name:
+            return f"{item.name} as {item.alias}"
+        return item.name
+    if isinstance(item, A.AstDerivedTable):
+        rendered = f"({print_query(item.query)}) as {item.alias}"
+        if item.column_names:
+            rendered += "(" + ", ".join(item.column_names) + ")"
+        return rendered
+    if isinstance(item, A.AstJoin):
+        left = print_from_item(item.left)
+        right = print_from_item(item.right)
+        if item.condition is None:
+            return f"{left} cross join {right}"
+        return f"{left} join {right} on {print_expression(item.condition)}"
+    raise SqlSyntaxError(f"cannot print FROM item {type(item).__name__}")
+
+
+def print_literal(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, float):
+        # repr round-trips doubles exactly, but bare "1e-05"/"inf" shapes
+        # are avoided by the fuzzer; keep a '.0' so the lexer sees a float.
+        text = repr(value)
+        if "e" not in text and "E" not in text and "." not in text:
+            text += ".0"
+        return text
+    return str(value)
+
+
+def print_expression(node: A.AstExpression) -> str:
+    """Render an expression, parenthesizing instead of tracking precedence."""
+    if isinstance(node, A.AstColumn):
+        return node.name
+    if isinstance(node, A.AstLiteral):
+        return print_literal(node.value)
+    if isinstance(node, A.AstStar):
+        return "*"
+    if isinstance(node, A.AstUnary):
+        if node.op == "not":
+            return f"(not {print_expression(node.operand)})"
+        return f"(- {print_expression(node.operand)})"
+    if isinstance(node, A.AstBinary):
+        op = node.op
+        return f"({print_expression(node.left)} {op} {print_expression(node.right)})"
+    if isinstance(node, A.AstIsNull):
+        word = "is not null" if node.negated else "is null"
+        return f"({print_expression(node.operand)} {word})"
+    if isinstance(node, A.AstBetween):
+        word = "not between" if node.negated else "between"
+        return (
+            f"({print_expression(node.operand)} {word} "
+            f"{print_expression(node.low)} and {print_expression(node.high)})"
+        )
+    if isinstance(node, A.AstInList):
+        word = "not in" if node.negated else "in"
+        items = ", ".join(print_expression(i) for i in node.items)
+        return f"({print_expression(node.operand)} {word} ({items}))"
+    if isinstance(node, A.AstInSubquery):
+        word = "not in" if node.negated else "in"
+        return (
+            f"({print_expression(node.operand)} {word} "
+            f"({print_query(node.subquery)}))"
+        )
+    if isinstance(node, A.AstExists):
+        prefix = "not exists" if node.negated else "exists"
+        return f"({prefix} ({print_query(node.subquery)}))"
+    if isinstance(node, A.AstScalarSubquery):
+        return f"({print_query(node.subquery)})"
+    if isinstance(node, A.AstFunction):
+        if node.star:
+            return "count(*)"
+        prefix = "distinct " if node.distinct else ""
+        args = ", ".join(print_expression(a) for a in node.args)
+        return f"{node.name}({prefix}{args})"
+    if isinstance(node, A.AstCase):
+        parts = ["case"]
+        for condition, value in node.whens:
+            parts.append(
+                f"when {print_expression(condition)} then {print_expression(value)}"
+            )
+        if node.default is not None:
+            parts.append(f"else {print_expression(node.default)}")
+        parts.append("end")
+        return " ".join(parts)
+    raise SqlSyntaxError(f"cannot print expression {type(node).__name__}")

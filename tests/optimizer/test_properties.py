@@ -138,6 +138,28 @@ class TestCoveringRange:
         node = Apply(Select(g(), condition), scalar)
         assert covering_range(node) == condition
 
+    def test_correlated_parameter_never_joins_the_range(self):
+        """Fuzzer regression (corpus case fuzz-engine-error-40f717f528e1):
+        a Select inside an Apply's inner subquery whose predicate holds a
+        correlated Parameter must not contribute to the covering range —
+        lifting it would move the parameter outside the Apply that binds
+        it, producing an unbound-parameter crash at execution."""
+        from repro.algebra.expressions import Parameter
+
+        correlated = Select(g(), eq(col("k"), Parameter("corr_k_0")))
+        inner = GroupBy(correlated, (), (count_star("n"),))
+        node = Apply(Select(g(), eq(col("brand"), lit("A"))), inner)
+        range_ = covering_range(node)
+        # The inner branch is "whole group" (its parameterized select is
+        # opaque), so the disjunction must be the whole group too.
+        assert range_ is None
+
+    def test_parameterized_select_alone_is_whole_group(self):
+        from repro.algebra.expressions import Parameter
+
+        node = Select(g(), eq(col("k"), Parameter("corr_k_0")))
+        assert covering_range(node) is None
+
 
 class TestColumnAnalyses:
     def test_gp_eval_excludes_projected(self):

@@ -1,7 +1,11 @@
-"""Property-based tests: Kleene-logic laws of the expression evaluator."""
+"""Property-based tests: Kleene-logic laws of the expression evaluator,
+plus end-to-end regressions for NULL semantics at the SQL boundary."""
 
 from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.api import Database
+from repro.storage import DataType
 
 from repro.algebra.expressions import (
     And,
@@ -132,3 +136,70 @@ class TestComparisonLaws:
             assert in_result is None
         else:
             assert in_result == disjunction
+
+
+def _membership_db(values, members):
+    """One probe column ``x`` plus a one-column set table ``s``."""
+    db = Database()
+    db.create_table(
+        "probe", [("x", DataType.INTEGER)], [(v,) for v in values]
+    )
+    db.create_table(
+        "s", [("m", DataType.INTEGER)], [(m,) for m in members]
+    )
+    return db
+
+
+class TestInSubqueryThreeValuedLogic:
+    """Regressions for ``[NOT] IN (subquery)`` at the SQL boundary.
+
+    The NOT IN cases pin the fuzzer-found bug where the binder's
+    NOT-EXISTS rewrite used plain equality, so a NULL in the subquery
+    (or a NULL probe) failed to make the membership test UNKNOWN and
+    rows survived that SQL filters out (corpus case
+    ``fuzz-oracle-1ac6ab8cb7b7``).
+    """
+
+    def rows(self, db, predicate):
+        return sorted(
+            db.sql(f"select x from probe where {predicate}").rows,
+            key=repr,
+        )
+
+    def test_not_in_filters_when_set_has_null(self):
+        db = _membership_db(values=[1], members=[2, None])
+        # 1 NOT IN (2, NULL) is UNKNOWN, not TRUE: the row must go.
+        assert self.rows(db, "x not in (select m from s)") == []
+
+    def test_not_in_null_probe_filtered_by_nonempty_set(self):
+        db = _membership_db(values=[None], members=[2])
+        assert self.rows(db, "x not in (select m from s)") == []
+
+    def test_not_in_keeps_rows_against_empty_set(self):
+        # x NOT IN {} is TRUE for every x, including NULL.
+        db = _membership_db(values=[1, None], members=[])
+        assert self.rows(db, "x not in (select m from s)") == [(1,), (None,)]
+
+    def test_not_in_definite_nonmember_survives(self):
+        db = _membership_db(values=[1], members=[2, 3])
+        assert self.rows(db, "x not in (select m from s)") == [(1,)]
+
+    def test_not_in_member_filtered_even_with_null_in_set(self):
+        db = _membership_db(values=[2], members=[2, None])
+        assert self.rows(db, "x not in (select m from s)") == []
+
+    def test_in_unknown_is_not_true(self):
+        # 1 IN (2, NULL) is UNKNOWN: filtered, same as FALSE here.
+        db = _membership_db(values=[1, None], members=[2, None])
+        assert self.rows(db, "x in (select m from s)") == []
+
+    def test_in_match_survives_nulls_in_set(self):
+        db = _membership_db(values=[2], members=[2, None])
+        assert self.rows(db, "x in (select m from s)") == [(2,)]
+
+    def test_not_in_complements_in_only_without_nulls(self):
+        db = _membership_db(values=[1, 2], members=[2, 3])
+        in_rows = self.rows(db, "x in (select m from s)")
+        not_in_rows = self.rows(db, "x not in (select m from s)")
+        assert in_rows == [(2,)]
+        assert not_in_rows == [(1,)]
