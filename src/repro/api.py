@@ -21,10 +21,14 @@ from repro.errors import PlanError
 from repro.execution.base import PhysicalOperator, run_plan
 from repro.execution.parallel import BACKENDS
 from repro.execution.context import Counters, ExecutionContext
+from repro.observe.explain import Explanation
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.trace import Tracer
 from repro.optimizer.engine import OptimizationReport, Optimizer
 from repro.optimizer.planner import Planner, PlannerOptions
+from repro.sql.ast import AstExplain
 from repro.sql.binder import Binder
-from repro.sql.parser import parse
+from repro.sql.parser import parse, parse_statement
 from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 from repro.storage.table import Table, table_from_rows
@@ -41,6 +45,8 @@ class QueryResult:
     logical_plan: LogicalOperator
     physical_plan: PhysicalOperator
     optimization: OptimizationReport | None = None
+    metrics: MetricsRegistry | None = None
+    trace: Tracer | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -142,16 +148,34 @@ class Database:
         planner_options: PlannerOptions | None = None,
         parallelism: int | None = None,
         backend: str | None = None,
-    ) -> QueryResult:
+        explain: bool | str | None = None,
+        collect_metrics: bool = False,
+        trace: bool = False,
+    ) -> QueryResult | Explanation:
         """Run SQL text end to end and materialize the result.
 
         ``parallelism``/``backend`` are shorthand for the GApply
         execution-phase knobs on :class:`PlannerOptions` (``backend`` in
         ``{"serial", "thread", "process"}``); explicit ``planner_options``
         fields are overridden only by the knobs actually passed.
+
+        ``EXPLAIN [ANALYZE] <query>`` statements — or the equivalent
+        ``explain=True`` / ``explain="analyze"`` keyword — return an
+        :class:`Explanation` instead of a :class:`QueryResult`. Plain
+        queries with ``collect_metrics``/``trace`` return a
+        :class:`QueryResult` whose ``metrics``/``trace`` fields carry the
+        per-operator registry and the span tracer.
         """
-        logical = self.plan(text)
-        return self.execute(logical, optimize, planner_options, parallelism, backend)
+        statement = parse_statement(text)
+        query = statement
+        if isinstance(statement, AstExplain):
+            query = statement.query
+            explain = "analyze" if statement.analyze else (explain or True)
+        logical = Binder(self.catalog).bind(query)
+        return self.execute(
+            logical, optimize, planner_options, parallelism, backend,
+            explain, collect_metrics, trace, sql_text=text,
+        )
 
     def execute(
         self,
@@ -160,19 +184,58 @@ class Database:
         planner_options: PlannerOptions | None = None,
         parallelism: int | None = None,
         backend: str | None = None,
-    ) -> QueryResult:
-        """Optimize (optionally), lower, and run a logical plan."""
+        explain: bool | str | None = None,
+        collect_metrics: bool = False,
+        trace: bool = False,
+        sql_text: str | None = None,
+    ) -> QueryResult | Explanation:
+        """Optimize (optionally), lower, and run a logical plan.
+
+        ``explain``: falsy = run normally; ``True``/``"plan"`` = plan only,
+        return an :class:`Explanation`; ``"analyze"`` = run with metrics +
+        tracing and return an :class:`Explanation` carrying the results.
+        """
+        if explain not in (None, False, True, "plan", "analyze"):
+            raise PlanError(
+                f"explain must be True, 'plan' or 'analyze', got {explain!r}"
+            )
         planner_options = _with_parallel_knobs(
             planner_options, parallelism, backend
         )
+        if explain:
+            # Estimated cardinalities are the point of EXPLAIN output.
+            planner_options = replace(
+                planner_options or PlannerOptions(), collect_estimates=True
+            )
         report: OptimizationReport | None = None
         chosen = logical
         if optimize:
             report = self._optimizer(planner_options).optimize(logical)
             chosen = report.best
         physical = Planner(self.catalog, planner_options).plan(chosen)
-        ctx = ExecutionContext()
+        if explain in (True, "plan"):
+            return Explanation(
+                sql=sql_text, analyze=False, physical_plan=physical,
+                report=report,
+            )
+        analyze = explain == "analyze"
+        registry = tracer = None
+        if analyze or collect_metrics:
+            registry = MetricsRegistry()
+            registry.register_plan(physical)
+        if analyze or trace:
+            tracer = Tracer()
+        ctx = ExecutionContext(metrics=registry, tracer=tracer)
+        span = None if tracer is None else tracer.begin("plan", physical.label())
         rows = run_plan(physical, ctx)
+        if span is not None:
+            tracer.end(span, rows_out=len(rows))
+        if analyze:
+            return Explanation(
+                sql=sql_text, analyze=True, physical_plan=physical,
+                report=report, registry=registry, tracer=tracer,
+                rows=rows, schema=physical.schema, counters=ctx.counters,
+            )
         return QueryResult(
             schema=physical.schema,
             rows=rows,
@@ -180,6 +243,8 @@ class Database:
             logical_plan=chosen,
             physical_plan=physical,
             optimization=report,
+            metrics=registry,
+            trace=tracer,
         )
 
     def _optimizer(self, planner_options: PlannerOptions | None) -> Optimizer:

@@ -51,6 +51,9 @@ class Measurement:
     cells: int = 0      # cells written to partition/sort/hash buffers
     backend: str = "serial"
     parallelism: int = 1
+    #: Per-operator metrics snapshot of the best run (path -> counters),
+    #: populated only when the measurement asked for metrics collection.
+    metrics: dict | None = None
 
     def ratio_to(self, other: "Measurement") -> float:
         """self/other elapsed-time ratio (``other`` is the faster plan)."""
@@ -65,7 +68,7 @@ class Measurement:
 
     def to_dict(self) -> dict:
         """The JSON measurement record (see :func:`write_measurements_json`)."""
-        return {
+        record = {
             "elapsed": self.elapsed,
             "work": self.work,
             "rows": self.rows,
@@ -75,6 +78,9 @@ class Measurement:
             "backend": self.backend,
             "parallelism": self.parallelism,
         }
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
+        return record
 
 
 def measure_physical(
@@ -82,17 +88,31 @@ def measure_physical(
     repetitions: int = DEFAULT_REPETITIONS,
     backend: str = "serial",
     parallelism: int = 1,
+    collect_metrics: bool = False,
 ) -> Measurement:
     """Best-of-N execution of a physical plan.
 
     ``backend``/``parallelism`` are recorded into the measurement; the
     plan itself already carries the knobs (set at lowering time).
+
+    ``collect_metrics`` attaches a fresh per-operator metrics registry to
+    every repetition and stores the best run's snapshot (with timings) on
+    the measurement. Off by default: instrumentation costs a clock pair
+    per row, which would pollute ``elapsed`` for measurements that did
+    not ask for it.
     """
     best = float("inf")
     counters = Counters()
     rows = 0
+    metrics_snapshot = None
     for _ in range(repetitions):
-        ctx = ExecutionContext()
+        registry = None
+        if collect_metrics:
+            from repro.observe.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.register_plan(plan)
+        ctx = ExecutionContext(metrics=registry)
         start = time.perf_counter()
         result = run_plan(plan, ctx)
         elapsed = time.perf_counter() - start
@@ -100,6 +120,8 @@ def measure_physical(
             best = elapsed
             counters = ctx.counters
             rows = len(result)
+            if registry is not None:
+                metrics_snapshot = registry.snapshot(include_time=True)
     return Measurement(
         best,
         counters.total_work,
@@ -109,6 +131,7 @@ def measure_physical(
         counters.buffered_cells,
         backend,
         parallelism,
+        metrics_snapshot,
     )
 
 
@@ -165,6 +188,7 @@ def measure_sql(
     optimize: bool = True,
     options: PlannerOptions | None = None,
     repetitions: int = DEFAULT_REPETITIONS,
+    collect_metrics: bool = False,
 ) -> Measurement:
     """Bind, (optionally) optimize, lower and measure one SQL query.
 
@@ -177,7 +201,8 @@ def measure_sql(
     backend = options.gapply_backend if options else "serial"
     parallelism = options.gapply_parallelism if options else 1
     return measure_physical(
-        lower(catalog, logical, options), repetitions, backend, parallelism
+        lower(catalog, logical, options), repetitions, backend, parallelism,
+        collect_metrics,
     )
 
 

@@ -80,7 +80,7 @@ class PHashAggregate(PhysicalOperator):
         self._key_positions = child.schema.indices_of(keys)
         self._compiled = _CompiledAggregates(child.schema, aggregates)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         compiled = self._compiled
         if not self.keys:
@@ -138,7 +138,7 @@ class PStreamAggregate(PhysicalOperator):
         self._key_positions = child.schema.indices_of(keys)
         self._compiled = _CompiledAggregates(child.schema, aggregates)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         compiled = self._compiled
         current_key: tuple | None = None

@@ -29,7 +29,7 @@ class PExists(PhysicalOperator):
         self.negated = negated
         self.schema = Schema(())
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         has_row = False
         for _ in self.child.execute(ctx):
             has_row = True
@@ -67,7 +67,7 @@ class PApply(PhysicalOperator):
         else:
             self.schema = outer.schema.concat(inner_schema)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         inner = self.inner
         zero_width_inner = len(inner.schema) == 0

@@ -30,11 +30,28 @@ from repro.storage.table import Row, Table
 
 
 class PhysicalOperator:
-    """Base class; subclasses set ``schema`` and implement ``execute``."""
+    """Base class; subclasses set ``schema`` and implement ``_execute``.
+
+    ``execute`` is the public entry point: it dispatches straight to the
+    subclass ``_execute`` when no metrics registry is attached (one ``is``
+    check, no allocation), or through the registry's instrumented driver
+    when one is. Operator code and tests may keep calling ``execute``
+    exactly as before.
+    """
 
     schema: Schema
 
+    #: Cost-model row estimate for the logical source of this node, stamped
+    #: by the planner when PlannerOptions.collect_estimates is on; rendered
+    #: by EXPLAIN against actual cardinalities. None = not estimated.
+    est_rows: float | None = None
+
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if ctx.metrics is None:
+            return self._execute(ctx)
+        return ctx.metrics.drive(self, ctx)
+
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
     def children(self) -> tuple["PhysicalOperator", ...]:
@@ -76,7 +93,7 @@ class PMaterialized(PhysicalOperator):
         self.schema = schema
         self._rows = list(rows)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         for row in self._rows:
             counters.rows += 1

@@ -27,11 +27,14 @@ class PFilter(PhysicalOperator):
         self.schema = child.schema
         self._evaluate = predicate.compile(child.schema)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         evaluate = self._evaluate
         counters = ctx.counters
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
         for row in self.child.execute(ctx):
             counters.comparisons += 1
+            if record is not None:
+                record.comparisons += 1
             if evaluate(row, ctx) is True:
                 counters.rows += 1
                 yield row
@@ -58,7 +61,7 @@ class PProject(PhysicalOperator):
         )
         self._evaluators = [expr.compile(child.schema) for expr, _ in self.items]
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         evaluators = self._evaluators
         counters = ctx.counters
         for row in self.child.execute(ctx):
@@ -90,7 +93,7 @@ class PPrune(PhysicalOperator):
             return lambda row: (row[position],)
         return operator.itemgetter(*positions)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         getter = self._getter
         counters = ctx.counters
         for row in self.child.execute(ctx):
@@ -111,7 +114,7 @@ class PDistinct(PhysicalOperator):
         self.child = child
         self.schema = child.schema
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         seen: set[tuple] = set()
         width = len(self.schema)
@@ -143,7 +146,7 @@ class PSort(PhysicalOperator):
             for reference, ascending in self.items
         ]
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         rows = list(self.child.execute(ctx))
         counters.buffered_cells += len(rows) * len(self.schema)
@@ -179,7 +182,7 @@ class PUnionAll(PhysicalOperator):
             Column(c.name, c.dtype) for c in self.inputs[0].schema
         )
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         for child in self.inputs:
             for row in child.execute(ctx):
@@ -215,7 +218,7 @@ class PRemap(PhysicalOperator):
         self.schema = Schema(columns)
         self._getter = PPrune._make_getter(self._positions)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         getter = self._getter
         counters = ctx.counters
         for row in self.child.execute(ctx):
@@ -234,7 +237,7 @@ class PAlias(PhysicalOperator):
         self.name = name
         self.schema = child.schema.qualify(name)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         return self.child.execute(ctx)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -252,7 +255,7 @@ class PLimit(PhysicalOperator):
         self.limit = limit
         self.schema = child.schema
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         if self.limit <= 0:
             return
         emitted = 0

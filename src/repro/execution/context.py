@@ -17,10 +17,14 @@ other's bindings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.errors import ExecutionError
 from repro.storage.table import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.metrics import MetricsRegistry
+    from repro.observe.trace import Tracer
 
 
 @dataclass
@@ -99,11 +103,19 @@ class Counters:
 
 @dataclass
 class ExecutionContext:
-    """Runtime state threaded through physical operators."""
+    """Runtime state threaded through physical operators.
+
+    ``metrics``/``tracer`` are the opt-in observability hooks
+    (:mod:`repro.observe`): both default to None, and the executor's hot
+    path touches neither unless they are set — plain execution allocates
+    no observe objects at all (guarded by a tier-1 test).
+    """
 
     counters: Counters = field(default_factory=Counters)
     scalars: Mapping[str, Any] = field(default_factory=dict)
     relations: Mapping[str, Sequence[Row]] = field(default_factory=dict)
+    metrics: "MetricsRegistry | None" = None
+    tracer: "Tracer | None" = None
 
     def scalar(self, name: str) -> Any:
         try:
@@ -126,11 +138,15 @@ class ExecutionContext:
     def with_scalars(self, updates: Mapping[str, Any]) -> "ExecutionContext":
         merged = dict(self.scalars)
         merged.update(updates)
-        return ExecutionContext(self.counters, merged, self.relations)
+        return ExecutionContext(
+            self.counters, merged, self.relations, self.metrics, self.tracer
+        )
 
     def with_relation(
         self, name: str, rows: Sequence[Row]
     ) -> "ExecutionContext":
         merged = dict(self.relations)
         merged[name] = rows
-        return ExecutionContext(self.counters, self.scalars, merged)
+        return ExecutionContext(
+            self.counters, self.scalars, merged, self.metrics, self.tracer
+        )

@@ -153,6 +153,8 @@ class PGApply(PhysicalOperator):
             else:
                 entry[1].append(buffered)
         counters.peak_partition_rows = max(counters.peak_partition_rows, total)
+        if ctx.metrics is not None:
+            ctx.metrics.record_for(self).partition_rows += total
         for key_values, rows in buckets.values():
             yield key_values, rows
 
@@ -164,6 +166,8 @@ class PGApply(PhysicalOperator):
         rows = [_buffer_row(row) for row in self.outer.execute(ctx)]
         counters.buffered_cells += sum(len(row) for row in rows)
         counters.peak_partition_rows = max(counters.peak_partition_rows, len(rows))
+        if ctx.metrics is not None:
+            ctx.metrics.record_for(self).partition_rows += len(rows)
         rows.sort(key=lambda row: grouping_key(key_getter(row)))
         counters.comparisons += len(rows)
         current_key: tuple | None = None
@@ -186,7 +190,7 @@ class PGApply(PhysicalOperator):
     # Execution phase
     # ------------------------------------------------------------------
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         if self.partitioning == HASH_PARTITION:
             partitions = self._partition_hash(ctx)
         else:
@@ -211,19 +215,40 @@ class PGApply(PhysicalOperator):
         counters = ctx.counters
         per_group = self.per_group
         variable = self.group_variable
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        tracer = ctx.tracer
         # One child context, rebound per group: each group's per-group plan
         # is fully drained before the next binding, so mutation is safe and
         # avoids a dict copy per group.
         relations = dict(ctx.relations)
-        group_ctx = ExecutionContext(ctx.counters, ctx.scalars, relations)
+        group_ctx = ExecutionContext(
+            ctx.counters, ctx.scalars, relations, ctx.metrics, ctx.tracer
+        )
         for key_values, group_rows in partitions:
             if not pre_counted:
                 counters.groups_partitioned += 1
             counters.group_executions += 1
             relations[variable] = group_rows
+            span = (
+                None
+                if tracer is None
+                else tracer.begin(
+                    "group", f"${variable}={key_values!r}",
+                    group_rows=len(group_rows),
+                )
+            )
+            emitted = 0
             for pgq_row in per_group.execute(group_ctx):
                 counters.rows += 1
+                emitted += 1
                 yield key_values + pgq_row
+            if record is not None:
+                if not pre_counted:
+                    record.groups_formed += 1
+                if not emitted:
+                    record.empty_groups_skipped += 1
+            if span is not None:
+                tracer.end(span, rows_out=emitted)
 
     def _execute_parallel(
         self,
@@ -233,6 +258,18 @@ class PGApply(PhysicalOperator):
         counters = ctx.counters
         groups = list(partitions)
         counters.groups_partitioned += len(groups)
+        metrics = ctx.metrics
+        metrics_prefix = ""
+        gapply_path = None
+        if metrics is not None:
+            # Groups are formed parent-side (the partition phase ran here);
+            # workers only see their own batches, so count them now. The
+            # serial fallback below passes pre_counted=True and skips its
+            # own groups_formed tick to avoid double counting.
+            record = metrics.record_for(self)
+            record.groups_formed += len(groups)
+            gapply_path = record.path
+            metrics_prefix = metrics.path_of(self.per_group)
         rows = run_groups_parallel(
             WorkerPool.create(self.backend, self.parallelism),
             self.per_group,
@@ -242,6 +279,9 @@ class PGApply(PhysicalOperator):
             groups,
             counters,
             self.batch_size,
+            metrics,
+            metrics_prefix,
+            gapply_path,
         )
         # Force pool bring-up now: if the backend cannot start here (plan
         # not picklable, fork refused), fall back to the serial phase over

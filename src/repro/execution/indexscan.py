@@ -73,13 +73,18 @@ class PIndexSeek(PhysicalOperator):
                 self.low, self.high, self.low_inclusive, self.high_inclusive
             )
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         residual = self._evaluate_residual
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        if record is not None:
+            record.index_probes += 1
         for row in self._fetch():
             counters.table_scan_rows += 1
             if residual is not None:
                 counters.comparisons += 1
+                if record is not None:
+                    record.comparisons += 1
                 if residual(row, ctx) is not True:
                     continue
             counters.rows += 1
@@ -136,15 +141,18 @@ class PIndexNestedLoopJoin(PhysicalOperator):
             None if residual is None else residual.compile(self.schema)
         )
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         residual = self._evaluate_residual
         outer_is_left = self.outer_is_left
         lookup = self.index.lookup
         positions = self._outer_positions
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
         for outer_row in self.outer.execute(ctx):
             values = tuple(outer_row[i] for i in positions)
             counters.join_probes += 1
+            if record is not None:
+                record.index_probes += 1
             for inner_row in lookup(values):
                 combined = (
                     outer_row + inner_row

@@ -44,7 +44,7 @@ class PNestedLoopJoin(PhysicalOperator):
             None if predicate is None else predicate.compile(combined)
         )
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         right_rows = list(self.right.execute(ctx))
         evaluate = self._evaluate
@@ -118,7 +118,7 @@ class PHashJoin(PhysicalOperator):
             None if residual is None else residual.compile(combined)
         )
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         if self.build_left:
             yield from self._execute_build_left(ctx)
             return

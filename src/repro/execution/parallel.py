@@ -59,8 +59,10 @@ BACKENDS = (SERIAL_BACKEND, THREAD_BACKEND, PROCESS_BACKEND)
 #: One partitioned group: (grouping-key values, the group's buffered rows).
 Group = tuple[tuple, list]
 
-#: A worker result: (output rows, Counters.snapshot() of the work done).
-BatchResult = tuple[list, dict]
+#: A worker result: (output rows, Counters.snapshot() of the work done,
+#: MetricsRegistry.snapshot() of per-operator metrics — None unless the
+#: dispatch asked for metrics collection).
+BatchResult = tuple[list, dict, dict | None]
 
 #: Target number of batches per worker; >1 so a skewed group distribution
 #: still load-balances instead of leaving workers idle behind one big batch.
@@ -96,6 +98,7 @@ def execute_group_batch(
     scalars: Mapping[str, Any],
     relations: Mapping[str, Sequence[Row]],
     batch: Sequence[Group],
+    collect_metrics: bool = False,
 ) -> BatchResult:
     """Run the per-group plan over each group in ``batch``.
 
@@ -103,19 +106,50 @@ def execute_group_batch(
     mirroring the serial execution phase exactly: one ``group_executions``
     tick per group, one ``rows`` tick per emitted row, plus whatever the
     per-group plan's own operators count.
+
+    With ``collect_metrics`` the worker also counts per-operator metrics
+    into a fresh registry keyed by the per-group plan's tree paths (the
+    unpickled copy has the same shape as the parent's, so the paths line
+    up) and ships the snapshot home for the parent to merge under the
+    per-group subtree. Empty groups — the ones whose per-group query
+    emitted no rows — belong to the *enclosing* GApply, which lives in the
+    parent's plan, so they travel under the synthetic
+    :data:`~repro.observe.metrics.ENCLOSING_GAPPLY` key. Tracer spans are
+    never shipped (worker wall-clocks are not comparable across
+    processes).
     """
     counters = Counters()
     bound = dict(relations)
-    ctx = ExecutionContext(counters, scalars, bound)
+    registry = None
+    if collect_metrics:
+        from repro.observe.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.register_plan(plan)
+    ctx = ExecutionContext(counters, scalars, bound, registry)
     out: list[Row] = []
     append = out.append
+    empty_groups = 0
     for key_values, group_rows in batch:
         counters.group_executions += 1
         bound[group_variable] = group_rows
+        emitted = 0
         for pgq_row in plan.execute(ctx):
             counters.rows += 1
+            emitted += 1
             append(key_values + pgq_row)
-    return out, counters.snapshot()
+        if not emitted:
+            empty_groups += 1
+    metrics_snapshot = None
+    if registry is not None:
+        from repro.observe.metrics import ENCLOSING_GAPPLY
+
+        metrics_snapshot = registry.snapshot()
+        if empty_groups:
+            metrics_snapshot[ENCLOSING_GAPPLY] = {
+                "empty_groups_skipped": empty_groups
+            }
+    return out, counters.snapshot(), metrics_snapshot
 
 
 def make_batches(
@@ -154,10 +188,13 @@ def _run_batch_in_thread(
     scalars: Mapping[str, Any],
     relations: Mapping[str, Sequence[Row]],
     batch: Sequence[Group],
+    collect_metrics: bool = False,
 ) -> BatchResult:
     _thread_worker.active = True
     try:
-        return execute_group_batch(plan, group_variable, scalars, relations, batch)
+        return execute_group_batch(
+            plan, group_variable, scalars, relations, batch, collect_metrics
+        )
     finally:
         _thread_worker.active = False
 
@@ -171,8 +208,10 @@ def _init_process_worker(payload: bytes) -> None:
 
 def _run_batch_in_process(batch: Sequence[Group]) -> BatchResult:
     assert _process_payload is not None, "worker initializer did not run"
-    plan, group_variable, scalars, relations = _process_payload
-    return execute_group_batch(plan, group_variable, scalars, relations, batch)
+    plan, group_variable, scalars, relations, collect_metrics = _process_payload
+    return execute_group_batch(
+        plan, group_variable, scalars, relations, batch, collect_metrics
+    )
 
 
 def _plan_pickler():
@@ -216,10 +255,11 @@ class WorkerPool:
         scalars: Mapping[str, Any],
         relations: Mapping[str, Sequence[Row]],
         batches: Iterable[Sequence[Group]],
+        collect_metrics: bool = False,
     ) -> Iterator[BatchResult]:
         for batch in batches:
             yield execute_group_batch(
-                plan, group_variable, scalars, relations, batch
+                plan, group_variable, scalars, relations, batch, collect_metrics
             )
 
     @staticmethod
@@ -243,7 +283,8 @@ class ThreadWorkerPool(WorkerPool):
 
     backend = THREAD_BACKEND
 
-    def run(self, plan, group_variable, scalars, relations, batches):
+    def run(self, plan, group_variable, scalars, relations, batches,
+            collect_metrics=False):
         from concurrent.futures import ThreadPoolExecutor
 
         batches = list(batches)
@@ -267,6 +308,7 @@ class ThreadWorkerPool(WorkerPool):
                     scalars,
                     relations,
                     batch,
+                    collect_metrics,
                 )
                 for batch in batches
             ]
@@ -281,7 +323,8 @@ class ProcessWorkerPool(WorkerPool):
 
     backend = PROCESS_BACKEND
 
-    def run(self, plan, group_variable, scalars, relations, batches):
+    def run(self, plan, group_variable, scalars, relations, batches,
+            collect_metrics=False):
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
         batches = list(batches)
@@ -289,7 +332,8 @@ class ProcessWorkerPool(WorkerPool):
             return
         try:
             payload = _plan_pickler().dumps(
-                (plan, group_variable, dict(scalars), dict(relations))
+                (plan, group_variable, dict(scalars), dict(relations),
+                 collect_metrics)
             )
         except Exception as exc:
             raise ParallelUnavailable(
@@ -334,21 +378,38 @@ def run_groups_parallel(
     groups: Sequence[Group],
     counters: Counters,
     batch_size: int | None = None,
+    metrics: "Any | None" = None,
+    metrics_prefix: str = "",
+    gapply_path: str | None = None,
 ) -> Iterator[Row]:
     """Dispatch groups through ``pool``; merge counters; stream rows.
 
     Raises :class:`ParallelUnavailable` before yielding anything if the
     backend cannot be brought up, so the caller can still fall back to a
     serial pass over the same ``groups``.
+
+    When ``metrics`` (the parent's :class:`MetricsRegistry`) is given,
+    workers collect per-operator metrics and each batch snapshot is merged
+    under ``metrics_prefix`` — the parent-side tree path of the per-group
+    plan — in dispatch order, making the merged registry identical to a
+    serial run's. ``gapply_path`` routes the workers' empty-group counts
+    to the enclosing GApply's record.
     """
     batches = make_batches(groups, pool.parallelism, batch_size)
-    results = pool.run(plan, group_variable, scalars, relations, batches)
+    results = pool.run(
+        plan, group_variable, scalars, relations, batches,
+        collect_metrics=metrics is not None,
+    )
     # Force bring-up (pickling, executor start) before the first yield so
     # ParallelUnavailable escapes while fallback is still possible.
     try:
         head = next(results)
     except StopIteration:
         return
-    for rows, snapshot in itertools.chain((head,), results):
+    for rows, snapshot, metrics_snapshot in itertools.chain((head,), results):
         counters.merge(Counters.from_snapshot(snapshot))
+        if metrics is not None and metrics_snapshot is not None:
+            metrics.merge_snapshot(
+                metrics_snapshot, metrics_prefix, gapply_path
+            )
         yield from rows

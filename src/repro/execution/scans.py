@@ -25,7 +25,7 @@ class PTableScan(PhysicalOperator):
         self.alias = alias
         self.schema = table.schema.qualify(alias or table.name)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         for row in self.table.rows:
             counters.rows += 1
@@ -45,7 +45,7 @@ class PGroupScan(PhysicalOperator):
         self.variable = variable
         self.schema = schema
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         for row in ctx.relation(self.variable):
             counters.rows += 1

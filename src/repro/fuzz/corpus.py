@@ -77,8 +77,16 @@ def save_case(
     detail: str,
     directory: Path | str,
     config: str | None = None,
+    metrics: dict | None = None,
 ) -> Path:
-    """Write one reproducer; returns its (content-addressed) path."""
+    """Write one reproducer; returns its (content-addressed) path.
+
+    ``metrics`` is an optional per-operator metrics snapshot of the
+    failing execution (diagnostic context for whoever picks the case up).
+    It is excluded from the content digest: two shrinks of the same bug
+    must still collide even if instrumentation output changes between
+    engine versions.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -92,6 +100,8 @@ def save_case(
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()[:12]
+    if metrics is not None:
+        payload["metrics"] = metrics
     path = directory / f"fuzz-{kind}-{digest}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

@@ -135,6 +135,22 @@ def run_case(
     return None
 
 
+def _case_metrics(failure: FuzzFailure) -> dict | None:
+    """Per-operator metrics snapshot of the minimized reproducer's default
+    execution — diagnostic context attached to the saved corpus case.
+
+    Best-effort: error-kind failures cannot execute at all, and a metrics
+    failure must never mask the bug being persisted.
+    """
+    try:
+        result = failure.case.db.build().sql(
+            failure.case.sql, collect_metrics=True
+        )
+        return result.metrics.snapshot()
+    except Exception:
+        return None
+
+
 def _signature(failure: FuzzFailure) -> tuple[str, str | None, str]:
     """What shrinking must preserve: kind, config, and — for error kinds —
     the error type, so minimization cannot morph one bug into another."""
@@ -188,6 +204,7 @@ def run_fuzz(
                     final.detail,
                     corpus_dir,
                     config=final.config,
+                    metrics=_case_metrics(final),
                 )
             )
         if len(report.failures) >= stop_after:

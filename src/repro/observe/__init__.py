@@ -1,0 +1,37 @@
+"""Operator-level observability: metrics, traces, and EXPLAIN rendering.
+
+The paper's empirical claims (Table 1, Figure 8) are about *work avoided*
+— rows kept out of GApply's partition phase, groups never materialized,
+GApply collapsed to a plain groupby. Wall-clock time on a 1-CPU container
+cannot see any of that reliably (EXPERIMENTS.md E9), so this package makes
+the work itself observable:
+
+* :mod:`repro.observe.metrics` — a :class:`MetricsRegistry` holding one
+  :class:`OperatorMetrics` record per physical operator (rows in/out,
+  executions, groups formed, empty groups, index probes, comparisons,
+  partition rows) plus monotonic timers behind an injectable clock;
+* :mod:`repro.observe.trace` — lightweight spans at plan → operator →
+  group granularity, JSON-exportable;
+* :mod:`repro.observe.explain` — the ``EXPLAIN`` / ``EXPLAIN ANALYZE``
+  renderer: an annotated plan tree with estimated vs. actual
+  cardinalities, per-operator metrics, and the optimizer's rule-firing
+  trace;
+* ``python -m repro.observe`` — a CLI dumping rendered trees and JSON
+  traces for any paper workload query.
+
+Everything here is strictly opt-in: when no registry is attached to the
+:class:`~repro.execution.context.ExecutionContext`, the executor's hot
+path neither allocates nor touches any observe object (guarded by a
+tier-1 test).
+"""
+
+from repro.observe.metrics import OperatorMetrics, MetricsRegistry, join_path
+from repro.observe.trace import Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "OperatorMetrics",
+    "Span",
+    "Tracer",
+    "join_path",
+]

@@ -1,0 +1,97 @@
+"""``python -m repro.observe``: dump EXPLAIN [ANALYZE] for workload queries.
+
+Renders the annotated plan tree for any of the paper's benchmark queries
+(or ad-hoc SQL) against a generated TPC-H catalog, and optionally writes
+the machine-readable JSON trace documents CI archives as artifacts::
+
+    python -m repro.observe                       # all 10 formulations
+    python -m repro.observe --query Q2 --analyze  # one query, executed
+    python -m repro.observe --sql "select ..."    # ad-hoc text
+    python -m repro.observe --analyze --json-dir traces/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api import Database
+from repro.storage.catalog import Catalog
+from repro.workloads.queries import PAPER_QUERIES, query_by_name
+from repro.workloads.tpch import TpchConfig, load_tpch
+
+
+def formulations(names: list[str] | None) -> list[tuple[str, str]]:
+    """(label, sql) pairs: every formulation of every selected query."""
+    queries = (
+        list(PAPER_QUERIES)
+        if not names
+        else [query_by_name(name) for name in names]
+    )
+    out: list[tuple[str, str]] = []
+    for query in queries:
+        out.append((f"{query.name}-gapply", query.gapply_sql))
+        out.append((f"{query.name}-baseline", query.baseline_sql))
+        if query.naive_sql is not None:
+            out.append((f"{query.name}-naive", query.naive_sql))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--query", action="append", dest="queries", metavar="NAME",
+        help="paper query to explain (Q1..Q4; repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--sql", help="explain this SQL text instead of the paper queries"
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute the plans and annotate actual cardinalities/metrics",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="TPC-H scale factor for the generated catalog (default 0.02)",
+    )
+    parser.add_argument(
+        "--json-dir", metavar="DIR",
+        help="also write one <label>.json trace document per query to DIR",
+    )
+    args = parser.parse_args(argv)
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=args.scale))
+    db = Database(catalog)
+    explain = "analyze" if args.analyze else True
+
+    if args.sql:
+        targets = [("adhoc", args.sql)]
+    else:
+        try:
+            targets = formulations(args.queries)
+        except KeyError as error:
+            parser.error(str(error))
+
+    json_dir = None
+    if args.json_dir:
+        json_dir = Path(args.json_dir)
+        json_dir.mkdir(parents=True, exist_ok=True)
+
+    for label, sql in targets:
+        explanation = db.sql(sql, explain=explain)
+        print(f"=== {label} ===")
+        print(explanation.render())
+        print()
+        if json_dir is not None:
+            path = json_dir / f"{label}.json"
+            path.write_text(explanation.dumps() + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

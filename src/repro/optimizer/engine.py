@@ -46,15 +46,37 @@ def rewrite_everywhere(
     return results
 
 
+@dataclass(frozen=True)
+class RuleFiring:
+    """Exploration statistics for one rule: how many rewrites it proposed
+    across the whole search, and how many were new (not structurally equal
+    to an already-seen alternative)."""
+
+    rule: str
+    proposed: int
+    kept: int
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "proposed": self.proposed, "kept": self.kept}
+
+
 @dataclass
 class OptimizationReport:
-    """Outcome of an optimization run: the chosen plan plus provenance."""
+    """Outcome of an optimization run: the chosen plan plus provenance.
+
+    ``fired`` is one reconstructed rule sequence leading to the chosen
+    plan; ``rule_trace`` is the full exploration ledger (every rule with
+    its proposed/kept counts), and ``truncated`` reports whether the
+    alternative cap cut the search short — both feed EXPLAIN output.
+    """
 
     best: LogicalOperator
     best_estimate: Estimate
     original_estimate: Estimate
     explored: int
     fired: list[str] = field(default_factory=list)
+    rule_trace: list[RuleFiring] = field(default_factory=list)
+    truncated: bool = False
 
     @property
     def improved(self) -> bool:
@@ -76,28 +98,47 @@ class Optimizer:
 
     def explore(self, plan: LogicalOperator) -> list[LogicalOperator]:
         """Every distinct plan reachable by rule application (incl. input)."""
+        ordered, _, _ = self._explore_traced(plan)
+        return ordered
+
+    def _explore_traced(
+        self, plan: LogicalOperator
+    ) -> tuple[list[LogicalOperator], list[RuleFiring], bool]:
+        """Exploration plus the per-rule proposed/kept ledger and whether
+        the alternative cap truncated the search."""
         context = RuleContext(self.catalog)
         seen: set[LogicalOperator] = {plan}
         ordered: list[LogicalOperator] = [plan]
         frontier: list[LogicalOperator] = [plan]
-        while frontier and len(ordered) < self.max_alternatives:
+        stats = {rule.name: [0, 0] for rule in self.rules}
+        truncated = len(ordered) >= self.max_alternatives
+        while frontier and not truncated:
             tree = frontier.pop(0)
             for rule in self.rules:
+                tally = stats[rule.name]
                 for alternative in rewrite_everywhere(tree, rule, context):
+                    tally[0] += 1
                     if alternative in seen:
                         continue
                     seen.add(alternative)
+                    tally[1] += 1
                     ordered.append(alternative)
                     frontier.append(alternative)
                     if len(ordered) >= self.max_alternatives:
-                        return ordered
-        return ordered
+                        truncated = True
+                if truncated:
+                    break
+        trace = [
+            RuleFiring(name, proposed, kept)
+            for name, (proposed, kept) in stats.items()
+        ]
+        return ordered, trace, truncated
 
     def optimize(self, plan: LogicalOperator) -> OptimizationReport:
         """Pick the cheapest alternative under the Section-4.4 cost model."""
         model = CostModel(self.catalog)
         original = model.estimate(plan)
-        alternatives = self.explore(plan)
+        alternatives, rule_trace, truncated = self._explore_traced(plan)
         best = plan
         best_estimate = original
         for alternative in alternatives[1:]:
@@ -118,6 +159,8 @@ class Optimizer:
             original_estimate=original,
             explored=len(alternatives),
             fired=fired,
+            rule_trace=rule_trace,
+            truncated=truncated,
         )
 
 

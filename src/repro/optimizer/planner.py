@@ -90,6 +90,12 @@ class PlannerOptions:
     exist so the differential fuzzer (:mod:`repro.fuzz`) can walk the plan
     space — every rule disabled one at a time, all rules off — and assert
     that results never change. Unknown rule names raise at use time.
+
+    ``collect_estimates`` stamps every lowered physical node with the cost
+    model's row estimate for its logical source (``est_rows``), which
+    EXPLAIN ANALYZE renders against actual cardinalities. Off by default:
+    estimation walks the logical subtree per node, and plain execution
+    should not pay for it.
     """
 
     gapply_partitioning: str = HASH_PARTITION
@@ -100,6 +106,7 @@ class PlannerOptions:
     gapply_batch_size: int | None = None
     disabled_rules: tuple[str, ...] = ()
     optimizer_max_alternatives: int | None = None
+    collect_estimates: bool = False
 
     def active_rules(self):
         """The default optimizer rule set minus ``disabled_rules``.
@@ -123,12 +130,28 @@ class Planner:
     def __init__(self, catalog: Catalog, options: PlannerOptions | None = None):
         self.catalog = catalog
         self.options = options or PlannerOptions()
+        self._cost_model = None
 
     def plan(self, node: LogicalOperator) -> PhysicalOperator:
         method = getattr(self, f"_plan_{type(node).__name__.lower()}", None)
         if method is None:
             raise PlanError(f"no physical lowering for {type(node).__name__}")
-        return method(node)
+        physical = method(node)
+        if self.options.collect_estimates:
+            physical.est_rows = self._estimate_rows(node)
+        return physical
+
+    def _estimate_rows(self, node: LogicalOperator) -> float | None:
+        """Cost-model row estimate for ``node``, or None if inestimable
+        (e.g. a GroupScan outside any GApply binding)."""
+        if self._cost_model is None:
+            from repro.optimizer.cost import CostModel
+
+            self._cost_model = CostModel(self.catalog)
+        try:
+            return self._cost_model.estimate(node).rows
+        except Exception:
+            return None
 
     # ------------------------------------------------------------------
     # Leaves

@@ -200,3 +200,13 @@ class AstQuery(AstNode):
         if len(self.selects) != 1:
             raise ValueError("query is a union, not a single select")
         return self.selects[0]
+
+
+@dataclass(frozen=True)
+class AstExplain(AstNode):
+    """``EXPLAIN [ANALYZE] <query>``: render the plan for ``query`` instead
+    of its result; with ANALYZE, execute it and annotate the plan with the
+    per-operator metrics actually observed."""
+
+    query: AstQuery
+    analyze: bool = False

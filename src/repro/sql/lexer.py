@@ -28,7 +28,7 @@ KEYWORDS = frozenset(
         "union", "all", "distinct", "as", "and", "or", "not", "null",
         "true", "false", "is", "in", "exists", "between", "case", "when",
         "then", "else", "end", "gapply", "join", "inner", "cross", "on",
-        "asc", "desc", "limit",
+        "asc", "desc", "limit", "explain", "analyze",
     }
 )
 

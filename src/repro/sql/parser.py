@@ -39,6 +39,7 @@ from repro.sql.ast import (
     AstColumn,
     AstDerivedTable,
     AstExists,
+    AstExplain,
     AstExpression,
     AstFunction,
     AstGApplyItem,
@@ -123,6 +124,13 @@ class Parser:
         if self.current.type is not TokenType.EOF:
             raise self.error("unexpected trailing input")
         return query
+
+    def parse_statement(self) -> "AstQuery | AstExplain":
+        """A query, optionally wrapped in ``EXPLAIN [ANALYZE]``."""
+        if self.accept_keyword("explain"):
+            analyze = self.accept_keyword("analyze")
+            return AstExplain(self.parse_query(), analyze)
+        return self.parse_query()
 
     def _query(self) -> AstQuery:
         selects = [self._select()]
@@ -457,3 +465,8 @@ class Parser:
 def parse(text: str) -> AstQuery:
     """Parse SQL text into an :class:`AstQuery`."""
     return Parser(text).parse_query()
+
+
+def parse_statement(text: str) -> "AstQuery | AstExplain":
+    """Parse a statement: a query or ``EXPLAIN [ANALYZE] <query>``."""
+    return Parser(text).parse_statement()

@@ -20,6 +20,14 @@ from repro.errors import SqlSyntaxError
 from repro.sql import ast as A
 
 
+def print_statement(statement: "A.AstQuery | A.AstExplain") -> str:
+    """Render a statement: a query, or ``EXPLAIN [ANALYZE] <query>``."""
+    if isinstance(statement, A.AstExplain):
+        prefix = "explain analyze " if statement.analyze else "explain "
+        return prefix + print_query(statement.query)
+    return print_query(statement)
+
+
 def print_query(query: A.AstQuery) -> str:
     """Render a full query (union chain + ORDER BY / LIMIT)."""
     parts = []

@@ -9,6 +9,21 @@ from repro.storage import Catalog, DataType
 from repro.workloads.tpch import TpchConfig, load_tpch
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-snapshots",
+        action="store_true",
+        default=False,
+        help="rewrite the golden EXPLAIN plan snapshots under "
+        "tests/snapshots/ instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_snapshots(request) -> bool:
+    return request.config.getoption("--update-snapshots")
+
+
 @pytest.fixture
 def parts_db() -> Database:
     """A small supplier/part/partsupp database with declared keys.

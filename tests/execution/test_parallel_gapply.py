@@ -310,12 +310,13 @@ class TestWorkerPool:
         for row in rows:
             groups.setdefault(row[0], []).append(row)
         batch = [((key,), grp) for key, grp in groups.items()]
-        out, snapshot = execute_group_batch(
+        out, snapshot, metrics = execute_group_batch(
             aggregate_pgq(), "grp", {}, {}, batch
         )
         assert snapshot["group_executions"] == len(batch)
         assert snapshot["rows"] >= len(out)
         assert len(out) == len(batch)  # one aggregate row per group
+        assert metrics is None  # metrics ride along only when asked for
 
     def test_counters_snapshot_roundtrip(self):
         counters = Counters(rows=5, comparisons=2, peak_partition_rows=9)

@@ -1,0 +1,1 @@
+"""Observability-layer tests: metrics, tracing, EXPLAIN, plan snapshots."""

@@ -1,0 +1,67 @@
+"""Golden plan snapshots: EXPLAIN text for all 10 paper formulations.
+
+The default planner's chosen plan for every paper-query formulation is
+checked in verbatim under ``tests/snapshots/``. Any rule or cost-model
+change that alters a chosen plan fails here and must update the snapshot
+in the same diff — making plan regressions reviewable as text diffs.
+
+Regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/observe/test_plan_snapshots.py \
+        --update-snapshots
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.queries import PAPER_QUERIES
+
+SNAPSHOT_DIR = Path(__file__).resolve().parent.parent / "snapshots"
+
+
+def formulations() -> list[tuple[str, str]]:
+    out = []
+    for query in PAPER_QUERIES:
+        out.append((f"{query.name}-gapply", query.gapply_sql))
+        out.append((f"{query.name}-baseline", query.baseline_sql))
+        if query.naive_sql is not None:
+            out.append((f"{query.name}-naive", query.naive_sql))
+    return out
+
+
+FORMULATIONS = formulations()
+
+
+def test_all_ten_formulations_are_covered():
+    assert len(FORMULATIONS) == 10
+
+
+@pytest.mark.parametrize(
+    "label,sql", FORMULATIONS, ids=[label for label, _ in FORMULATIONS]
+)
+def test_explain_snapshot(tpch_db, label, sql, update_snapshots):
+    rendered = tpch_db.sql(sql, explain=True).render() + "\n"
+    path = SNAPSHOT_DIR / f"{label}.txt"
+    if update_snapshots:
+        SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        return
+    assert path.exists(), (
+        f"missing snapshot {path.name}; run pytest with --update-snapshots"
+    )
+    expected = path.read_text()
+    assert rendered == expected, (
+        f"plan for {label} changed; if intentional, rerun with "
+        f"--update-snapshots and commit the new snapshot\n--- expected ---\n"
+        f"{expected}\n--- got ---\n{rendered}"
+    )
+
+
+def test_snapshots_have_no_strays():
+    """Every checked-in snapshot corresponds to a live formulation."""
+    known = {f"{label}.txt" for label, _ in FORMULATIONS}
+    present = {path.name for path in SNAPSHOT_DIR.glob("*.txt")}
+    assert present <= known, f"stray snapshots: {sorted(present - known)}"
