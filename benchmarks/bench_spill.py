@@ -1,0 +1,115 @@
+"""Spill-to-disk GApply partitioning: in-memory vs forced-spill cost.
+
+The partition phase buffers the whole GApply input; under a cell budget it
+spills resident groups to an offset-addressed run file and reads them back
+at execution time (``repro.storage.spill``). This suite measures that
+price on Q4 — the paper's natively-GApply-planned query — comparing the
+unbounded in-memory plan against plans forced to spill via
+``PlannerOptions.gapply_spill_threshold``, under both partitioning
+strategies. Every spilled configuration must return exactly the in-memory
+row count; full byte-level equivalence across all ten paper formulations
+is covered by ``tests/execution/test_spill.py``.
+
+Expectation worth stating up front: spilling trades memory for pickling
+and disk traffic, so forced-spill should be strictly slower — the number
+to watch is the *ratio*, which bounds what a ``memory_budget=`` query pays
+when its partition buffer overflows.
+
+Run:  pytest benchmarks/bench_spill.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import execute
+from repro.execution.gapply import HASH_PARTITION, SORT_PARTITION
+from repro.optimizer.planner import PlannerOptions
+from repro.workloads.queries import query_by_name
+
+QUERY = "Q4"
+
+#: Cells the partition buffer may hold resident. Small enough that Q4's
+#: input overflows even at smoke scale (asserted below), large enough to
+#: produce several runs rather than one row per run.
+SPILL_THRESHOLD = 256
+
+PARTITIONINGS = (HASH_PARTITION, SORT_PARTITION)
+
+
+def _options(partitioning: str, spill: bool) -> PlannerOptions:
+    return PlannerOptions(
+        gapply_partitioning=partitioning,
+        gapply_spill_threshold=SPILL_THRESHOLD if spill else None,
+    )
+
+
+@pytest.fixture(scope="module")
+def in_memory_rows(prepared):
+    return execute(prepared(query_by_name(QUERY).gapply_sql))
+
+
+@pytest.mark.parametrize("partitioning", PARTITIONINGS)
+def test_in_memory(benchmark, prepared, in_memory_rows, partitioning):
+    plan = prepared(
+        query_by_name(QUERY).gapply_sql, _options(partitioning, spill=False)
+    )
+    rows = benchmark(execute, plan)
+    assert rows == in_memory_rows
+
+
+@pytest.mark.parametrize("partitioning", PARTITIONINGS)
+def test_forced_spill(benchmark, prepared, in_memory_rows, partitioning):
+    plan = prepared(
+        query_by_name(QUERY).gapply_sql, _options(partitioning, spill=True)
+    )
+    rows = benchmark(execute, plan)
+    assert rows == in_memory_rows
+
+
+@pytest.mark.parametrize("partitioning", PARTITIONINGS)
+def test_threshold_actually_spills(prepared, partitioning):
+    """Not a timing: guard that the benchmark measures real disk traffic.
+
+    If the threshold stopped forcing a spill (say, the scale shrank), the
+    'forced-spill' numbers would silently measure the in-memory path.
+    """
+    from repro.execution.base import run_plan
+    from repro.execution.context import ExecutionContext
+
+    plan = prepared(
+        query_by_name(QUERY).gapply_sql, _options(partitioning, spill=True)
+    )
+    ctx = ExecutionContext()
+    run_plan(plan, ctx)
+    assert ctx.counters.spilled_rows > 0
+    assert ctx.counters.spill_runs > 0
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.harness import bind, lower, measure_physical, optimize_with
+    from repro.storage.catalog import Catalog
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=scale))
+    logical = optimize_with(
+        catalog, bind(catalog, query_by_name(QUERY).gapply_sql)
+    )
+
+    cases = []
+    for partitioning in PARTITIONINGS:
+        for spill in (False, True):
+            plan = lower(catalog, logical, _options(partitioning, spill))
+            label = "spill" if spill else "memory"
+            cases.append(
+                (
+                    f"{QUERY}-{partitioning}-{label}",
+                    measure_physical(plan, repetitions=repetitions),
+                )
+            )
+    return cases
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("spill", _script_cases)

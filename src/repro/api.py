@@ -17,8 +17,9 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.operators import LogicalOperator
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
 from repro.execution.base import PhysicalOperator, run_plan
+from repro.execution.governor import Budget, Governor
 from repro.execution.parallel import BACKENDS
 from repro.execution.context import Counters, ExecutionContext
 from repro.observe.explain import Explanation
@@ -151,6 +152,9 @@ class Database:
         explain: bool | str | None = None,
         collect_metrics: bool = False,
         trace: bool = False,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        max_rows: int | None = None,
     ) -> QueryResult | Explanation:
         """Run SQL text end to end and materialize the result.
 
@@ -158,6 +162,15 @@ class Database:
         execution-phase knobs on :class:`PlannerOptions` (``backend`` in
         ``{"serial", "thread", "process"}``); explicit ``planner_options``
         fields are overridden only by the knobs actually passed.
+
+        ``timeout`` (wall-clock seconds), ``memory_budget`` (buffered
+        cells — the unit of ``Counters.buffered_cells``) and ``max_rows``
+        (output rows) attach a :class:`~repro.execution.governor.Governor`
+        to the run. Violations raise typed errors from :mod:`repro.errors`
+        (``TimeoutExceeded``, ``MemoryBudgetExceeded``,
+        ``RowBudgetExceeded``) carrying this SQL text; under a memory
+        budget, GApply's partition phase spills to disk instead of
+        failing.
 
         ``EXPLAIN [ANALYZE] <query>`` statements — or the equivalent
         ``explain=True`` / ``explain="analyze"`` keyword — return an
@@ -171,10 +184,14 @@ class Database:
         if isinstance(statement, AstExplain):
             query = statement.query
             explain = "analyze" if statement.analyze else (explain or True)
-        logical = Binder(self.catalog).bind(query)
+        try:
+            logical = Binder(self.catalog).bind(query)
+        except ReproError as error:
+            raise error.add_context(sql=text)
         return self.execute(
             logical, optimize, planner_options, parallelism, backend,
             explain, collect_metrics, trace, sql_text=text,
+            timeout=timeout, memory_budget=memory_budget, max_rows=max_rows,
         )
 
     def execute(
@@ -188,16 +205,46 @@ class Database:
         collect_metrics: bool = False,
         trace: bool = False,
         sql_text: str | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        max_rows: int | None = None,
+        governor: Governor | None = None,
     ) -> QueryResult | Explanation:
         """Optimize (optionally), lower, and run a logical plan.
 
         ``explain``: falsy = run normally; ``True``/``"plan"`` = plan only,
         return an :class:`Explanation`; ``"analyze"`` = run with metrics +
         tracing and return an :class:`Explanation` carrying the results.
+
+        ``timeout``/``memory_budget``/``max_rows`` build a
+        :class:`Governor` for the run (see :meth:`sql`); alternatively
+        pass a prebuilt ``governor`` — e.g. to hold a cancellation handle
+        across threads — which the budget knobs must not accompany.
         """
         if explain not in (None, False, True, "plan", "analyze"):
             raise PlanError(
                 f"explain must be True, 'plan' or 'analyze', got {explain!r}"
+            )
+        if governor is not None and (
+            timeout is not None
+            or memory_budget is not None
+            or max_rows is not None
+        ):
+            raise PlanError(
+                "pass either a prebuilt governor or budget knobs, not both"
+            )
+        if governor is None and (
+            timeout is not None
+            or memory_budget is not None
+            or max_rows is not None
+        ):
+            governor = Governor(
+                Budget(
+                    timeout=timeout,
+                    memory_cells=memory_budget,
+                    max_rows=max_rows,
+                ),
+                sql=sql_text,
             )
         planner_options = _with_parallel_knobs(
             planner_options, parallelism, backend
@@ -209,10 +256,13 @@ class Database:
             )
         report: OptimizationReport | None = None
         chosen = logical
-        if optimize:
-            report = self._optimizer(planner_options).optimize(logical)
-            chosen = report.best
-        physical = Planner(self.catalog, planner_options).plan(chosen)
+        try:
+            if optimize:
+                report = self._optimizer(planner_options).optimize(logical)
+                chosen = report.best
+            physical = Planner(self.catalog, planner_options).plan(chosen)
+        except ReproError as error:
+            raise error.add_context(sql=sql_text)
         if explain in (True, "plan"):
             return Explanation(
                 sql=sql_text, analyze=False, physical_plan=physical,
@@ -225,9 +275,24 @@ class Database:
             registry.register_plan(physical)
         if analyze or trace:
             tracer = Tracer()
-        ctx = ExecutionContext(metrics=registry, tracer=tracer)
+        ctx = ExecutionContext(
+            metrics=registry, tracer=tracer, governor=governor
+        )
         span = None if tracer is None else tracer.begin("plan", physical.label())
-        rows = run_plan(physical, ctx)
+        try:
+            if governor is None:
+                rows = run_plan(physical, ctx)
+            else:
+                # Enforce max_rows at the root: typed error the moment the
+                # budget is crossed, not after materializing everything.
+                rows = []
+                for row in physical.execute(ctx):
+                    governor.tick_output(1)
+                    rows.append(row)
+        except ReproError as error:
+            # Every engine error leaves carrying the SQL it happened in
+            # (first writer wins, so deeper context is preserved).
+            raise error.add_context(sql=sql_text)
         if span is not None:
             tracer.end(span, rows_out=len(rows))
         if analyze:

@@ -3,13 +3,38 @@
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch engine failures without also swallowing programming errors such as
 ``TypeError`` raised by their own code.
+
+Errors carry *query context*: :meth:`ReproError.add_context` attaches the
+SQL text (and, where known, the plan path of the failing operator) to an
+in-flight error without clobbering context set closer to the failure
+site. :meth:`Database.sql <repro.api.Database.sql>` attaches the query
+text to every engine error that escapes it, so a caller catching
+:class:`ReproError` can always recover which statement failed.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro engine."""
+    """Base class for all errors raised by the repro engine.
+
+    ``sql`` and ``plan_path`` are optional context attributes, attached
+    via :meth:`add_context` by whichever layer knows them (the API facade
+    knows the SQL text; operators know their plan path). First writer
+    wins: context set nearest the failure is never overwritten.
+    """
+
+    sql: str | None = None
+    plan_path: str | None = None
+
+    def add_context(
+        self, sql: str | None = None, plan_path: str | None = None
+    ) -> "ReproError":
+        if sql is not None and self.sql is None:
+            self.sql = sql
+        if plan_path is not None and self.plan_path is None:
+            self.plan_path = plan_path
+        return self
 
 
 class SchemaError(ReproError):
@@ -81,6 +106,46 @@ class OptimizerError(ReproError):
 
 class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
+
+
+class QueryCancelled(ExecutionError):
+    """The query's cancellation token was triggered while it was running."""
+
+
+class BudgetExceeded(ExecutionError):
+    """A per-query resource budget was exhausted (see the subclasses)."""
+
+
+class TimeoutExceeded(BudgetExceeded):
+    """The query ran past its wall-clock budget (``timeout=`` seconds)."""
+
+
+class MemoryBudgetExceeded(BudgetExceeded):
+    """A buffering operator would exceed the query's cell budget
+    (``memory_budget=``). GApply's partition phase spills to disk instead
+    of raising this; blocking sorts/distincts/hash builds cannot."""
+
+
+class RowBudgetExceeded(BudgetExceeded):
+    """The query produced more output rows than ``max_rows=`` allows."""
+
+
+class SpillError(ExecutionError):
+    """A spill run file could not be written or read back."""
+
+
+class WorkerCrashed(ExecutionError):
+    """A worker-pool backend lost workers and exhausted its retries.
+
+    Carries ``consumed_batches`` — how many dispatch batches were fully
+    merged before the crash — so the caller can resume the remaining work
+    on a lower rung of the degradation ladder without redoing (or worse,
+    double-counting) the completed prefix.
+    """
+
+    def __init__(self, message: str, consumed_batches: int = 0):
+        self.consumed_batches = consumed_batches
+        super().__init__(message)
 
 
 class XmlPublishError(ReproError):

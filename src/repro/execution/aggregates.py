@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.algebra.expressions import AggregateAccumulator, AggregateCall
+from repro.errors import PlanError
 from repro.execution.base import PhysicalOperator
 from repro.execution.context import ExecutionContext
 from repro.storage.schema import Column, Schema
@@ -130,7 +131,9 @@ class PStreamAggregate(PhysicalOperator):
         aggregates: Sequence[AggregateCall],
     ):
         if not keys:
-            raise ValueError("PStreamAggregate requires keys; use PHashAggregate")
+            raise PlanError(
+                "PStreamAggregate requires keys; use PHashAggregate"
+            )
         self.child = child
         self.keys = tuple(keys)
         self.aggregates = tuple(aggregates)

@@ -48,8 +48,12 @@ class PhysicalOperator:
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         if ctx.metrics is None:
-            return self._execute(ctx)
-        return ctx.metrics.drive(self, ctx)
+            iterator = self._execute(ctx)
+        else:
+            iterator = ctx.metrics.drive(self, ctx)
+        if ctx.governor is None:
+            return iterator
+        return _governed(iterator, ctx.governor)
 
     def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
@@ -66,6 +70,21 @@ class PhysicalOperator:
         for child in self.children():
             lines.append(child.pretty(indent + 1))
         return "\n".join(lines)
+
+
+def _governed(iterator: Iterator[Row], governor) -> Iterator[Row]:
+    """Wrap an operator's row stream with the governor's stride check.
+
+    Every operator in a governed plan passes its rows through one of
+    these, so a timeout or cancellation is observed within one stride of
+    rows at *some* level of the plan — including inside blocking
+    operators, whose children are wrapped too.
+    """
+    governor.check()
+    tick = governor.tick
+    for row in iterator:
+        tick()
+        yield row
 
 
 def run_plan(

@@ -11,6 +11,7 @@ from typing import Iterator, Sequence
 import operator
 
 from repro.algebra.expressions import Expression
+from repro.errors import PlanError
 from repro.execution.base import PhysicalOperator
 from repro.execution.context import ExecutionContext
 from repro.storage.schema import Column, Schema
@@ -116,17 +117,26 @@ class PDistinct(PhysicalOperator):
 
     def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
+        governor = ctx.governor
         seen: set[tuple] = set()
         width = len(self.schema)
-        for row in self.child.execute(ctx):
-            key = grouping_key(row)
-            counters.hash_inserts += 1
-            if key in seen:
-                continue
-            seen.add(key)
-            counters.buffered_cells += width
-            counters.rows += 1
-            yield row
+        try:
+            for row in self.child.execute(ctx):
+                key = grouping_key(row)
+                counters.hash_inserts += 1
+                if key in seen:
+                    continue
+                seen.add(key)
+                counters.buffered_cells += width
+                # No spill path here: over a memory budget this raises
+                # MemoryBudgetExceeded rather than degrading.
+                if governor is not None:
+                    governor.charge_cells(width)
+                counters.rows += 1
+                yield row
+        finally:
+            if governor is not None:
+                governor.release_cells(len(seen) * width)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
@@ -148,18 +158,29 @@ class PSort(PhysicalOperator):
 
     def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
+        governor = ctx.governor
         rows = list(self.child.execute(ctx))
-        counters.buffered_cells += len(rows) * len(self.schema)
-        # Stable multi-key sort: apply keys right-to-left.
-        for position, ascending in reversed(self._positions):
-            rows.sort(
-                key=lambda row: grouping_key((row[position],)),
-                reverse=not ascending,
-            )
-        counters.comparisons += len(rows)
-        for row in rows:
-            counters.rows += 1
-            yield row
+        cells = len(rows) * len(self.schema)
+        counters.buffered_cells += cells
+        # No spill path here (only GApply's partition phase spills): under
+        # a memory budget the whole buffer is charged up front and a
+        # too-large input raises MemoryBudgetExceeded.
+        try:
+            if governor is not None:
+                governor.charge_cells(cells)
+            # Stable multi-key sort: apply keys right-to-left.
+            for position, ascending in reversed(self._positions):
+                rows.sort(
+                    key=lambda row: grouping_key((row[position],)),
+                    reverse=not ascending,
+                )
+            counters.comparisons += len(rows)
+            for row in rows:
+                counters.rows += 1
+                yield row
+        finally:
+            if governor is not None:
+                governor.release_cells(cells)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
@@ -176,7 +197,7 @@ class PUnionAll(PhysicalOperator):
 
     def __init__(self, inputs: Sequence[PhysicalOperator]):
         if not inputs:
-            raise ValueError("PUnionAll requires at least one input")
+            raise PlanError("PUnionAll requires at least one input")
         self.inputs = tuple(inputs)
         self.schema = Schema(
             Column(c.name, c.dtype) for c in self.inputs[0].schema

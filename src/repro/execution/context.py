@@ -23,6 +23,7 @@ from repro.errors import ExecutionError
 from repro.storage.table import Row
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.execution.governor import Governor
     from repro.observe.metrics import MetricsRegistry
     from repro.observe.trace import Tracer
 
@@ -48,6 +49,9 @@ class Counters:
     groups_partitioned: int = 0
     peak_partition_rows: int = 0
     buffered_cells: int = 0  # cells (rows x width) written to partition/sort/distinct buffers
+    spill_runs: int = 0      # partition-phase flushes to disk
+    spilled_rows: int = 0    # rows written to spill run files
+    spill_bytes: int = 0     # encoded bytes written to spill run files
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -64,6 +68,9 @@ class Counters:
                 "groups_partitioned",
                 "peak_partition_rows",
                 "buffered_cells",
+                "spill_runs",
+                "spilled_rows",
+                "spill_bytes",
             )
         }
 
@@ -116,6 +123,9 @@ class ExecutionContext:
     relations: Mapping[str, Sequence[Row]] = field(default_factory=dict)
     metrics: "MetricsRegistry | None" = None
     tracer: "Tracer | None" = None
+    #: The query's resource governor (:mod:`repro.execution.governor`);
+    #: None means ungoverned execution with zero per-row overhead.
+    governor: "Governor | None" = None
 
     def scalar(self, name: str) -> Any:
         try:
@@ -139,7 +149,8 @@ class ExecutionContext:
         merged = dict(self.scalars)
         merged.update(updates)
         return ExecutionContext(
-            self.counters, merged, self.relations, self.metrics, self.tracer
+            self.counters, merged, self.relations, self.metrics, self.tracer,
+            self.governor,
         )
 
     def with_relation(
@@ -148,5 +159,6 @@ class ExecutionContext:
         merged = dict(self.relations)
         merged[name] = rows
         return ExecutionContext(
-            self.counters, self.scalars, merged, self.metrics, self.tracer
+            self.counters, self.scalars, merged, self.metrics, self.tracer,
+            self.governor,
         )

@@ -36,6 +36,27 @@ pays width-proportional I/O to write partitions (the paper's client-side
 simulation stored the outer result in a temp table); sharing references
 would erase that cost here and hide the benefit of the
 projection-before-GApply rule, so the copy keeps the cost model honest.
+
+Under a cell budget the partition phase **spills to disk**
+(:mod:`repro.storage.spill`) instead of buffering without bound:
+
+* *hash* partitioning keeps the key directory (first-appearance order and
+  per-key record offsets) in memory and flushes buffered row payloads to
+  an offset-addressed spill file whenever the resident buffer would cross
+  the threshold — the hybrid-hash shape, where the directory is
+  O(groups + rows) pointers but the O(rows x width) payload lives on
+  disk;
+* *sort* partitioning becomes a textbook external merge sort: sorted runs
+  of at most the threshold, merged stably on re-read.
+
+Both paths reproduce the in-memory output byte for byte (group order,
+within-group order, and values — pickle round-trips exactly), and count
+``spill_runs``/``spilled_rows``/``spill_bytes``. The threshold comes from
+``PlannerOptions.gapply_spill_threshold`` (forced, for tests and the
+spill benchmark) or from the query governor's memory budget; the
+execution phase still binds one whole group at a time in memory — the
+GApply contract requires it — so the budget governs the *partition
+buffer*, exactly the quantity the paper's §4.2 rules compete to shrink.
 """
 
 from __future__ import annotations
@@ -95,6 +116,8 @@ class PGApply(PhysicalOperator):
         parallelism: int = 1,
         backend: str = SERIAL_BACKEND,
         batch_size: int | None = None,
+        spill_threshold: int | None = None,
+        spill_dir: str | None = None,
     ):
         if partitioning not in (HASH_PARTITION, SORT_PARTITION):
             raise PlanError(
@@ -109,6 +132,12 @@ class PGApply(PhysicalOperator):
             raise PlanError(
                 f"GApply parallelism must be >= 1, got {parallelism}"
             )
+        if spill_threshold is not None and spill_threshold < 1:
+            raise PlanError(
+                f"GApply spill_threshold must be >= 1, got {spill_threshold}"
+            )
+        self.spill_threshold = spill_threshold
+        self.spill_dir = spill_dir
         self.outer = outer
         self.grouping_columns = tuple(grouping_columns)
         self.per_group = per_group
@@ -132,6 +161,16 @@ class PGApply(PhysicalOperator):
     # ------------------------------------------------------------------
     # Partitioning phase
     # ------------------------------------------------------------------
+
+    def _effective_spill_threshold(self, ctx: ExecutionContext) -> int | None:
+        """Cells the partition buffer may hold resident before spilling:
+        an explicit ``spill_threshold`` wins; otherwise the governor's
+        memory budget, so a budgeted query spills instead of failing."""
+        if self.spill_threshold is not None:
+            return self.spill_threshold
+        if ctx.governor is not None:
+            return ctx.governor.spill_threshold()
+        return None
 
     def _partition_hash(
         self, ctx: ExecutionContext
@@ -187,14 +226,186 @@ class PGApply(PhysicalOperator):
             yield current_values, bucket
 
     # ------------------------------------------------------------------
+    # Partitioning phase, spilling variants (cell budget in force)
+    # ------------------------------------------------------------------
+
+    def _partition_hash_spill(
+        self, ctx: ExecutionContext, threshold: int
+    ) -> Iterator[tuple[tuple, list[Row]]]:
+        """Hybrid hash partitioning: in-memory directory, on-disk payload.
+
+        The directory maps each key to its first-appearance slot (dict
+        insertion order), the offsets of its already-spilled rows, and
+        its still-resident rows. Whenever admitting a row would push the
+        resident buffer past ``threshold`` cells, one *flush wave*
+        appends every resident row to the spill file (arrival order
+        within each key) and empties the buffer. Read-back per group is
+        spilled offsets first, resident tail last — the exact arrival
+        order — so output is byte-identical to the in-memory path.
+        """
+        from repro.storage.spill import SpillFile
+
+        counters = ctx.counters
+        key_getter = self._key_getter
+        governor = ctx.governor
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        # key -> [key_values, spilled offsets, resident rows]
+        directory: dict[tuple, list] = {}
+        resident_cells = 0
+        peak_resident_rows = resident_rows = 0
+        total = 0
+        spill_runs = spilled_rows = 0
+        spill = SpillFile(self.spill_dir)
+        try:
+            for row in self.outer.execute(ctx):
+                key_values = key_getter(row)
+                key = grouping_key(key_values)
+                counters.hash_inserts += 1
+                counters.buffered_cells += len(row)
+                total += 1
+                buffered = _buffer_row(row)
+                width = len(buffered)
+                if resident_cells and resident_cells + width > threshold:
+                    for entry in directory.values():
+                        offsets, rows = entry[1], entry[2]
+                        for resident in rows:
+                            offsets.append(spill.append(resident))
+                        spilled_rows += len(rows)
+                        rows.clear()
+                    spill_runs += 1
+                    if governor is not None:
+                        governor.release_cells(resident_cells)
+                    resident_cells = resident_rows = 0
+                entry = directory.get(key)
+                if entry is None:
+                    entry = [key_values, [], []]
+                    directory[key] = entry
+                entry[2].append(buffered)
+                resident_cells += width
+                resident_rows += 1
+                if resident_rows > peak_resident_rows:
+                    peak_resident_rows = resident_rows
+                if governor is not None:
+                    governor.charge_cells(width)
+            counters.peak_partition_rows = max(
+                counters.peak_partition_rows, peak_resident_rows
+            )
+            counters.spill_runs += spill_runs
+            counters.spilled_rows += spilled_rows
+            counters.spill_bytes += spill.bytes_written
+            if record is not None:
+                record.partition_rows += total
+                record.spill_runs += spill_runs
+                record.spilled_rows += spilled_rows
+                record.spill_bytes += spill.bytes_written
+            for key_values, offsets, rows in directory.values():
+                if offsets:
+                    group = [spill.read_at(offset) for offset in offsets]
+                    group.extend(rows)
+                else:
+                    group = rows
+                yield key_values, group
+        finally:
+            spill.close()
+            if governor is not None and resident_cells:
+                governor.release_cells(resident_cells)
+
+    def _partition_sort_spill(
+        self, ctx: ExecutionContext, threshold: int
+    ) -> Iterator[tuple[tuple, list[Row]]]:
+        """External merge sort: runs of at most ``threshold`` cells,
+        sorted in memory and written out; a stable k-way merge re-reads
+        them in key order (run order + resident tail last = arrival
+        order on ties, matching the in-memory stable sort exactly)."""
+        from repro.storage.spill import SpillRun, merge_runs
+
+        counters = ctx.counters
+        key_getter = self._key_getter
+        governor = ctx.governor
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        sort_key = lambda row: grouping_key(key_getter(row))  # noqa: E731
+        runs: list[SpillRun] = []
+        buffer: list[Row] = []
+        resident_cells = 0
+        peak_resident_rows = 0
+        total = 0
+        spilled_rows = spill_bytes = 0
+        try:
+            for row in self.outer.execute(ctx):
+                buffered = _buffer_row(row)
+                width = len(buffered)
+                counters.buffered_cells += width
+                total += 1
+                if resident_cells and resident_cells + width > threshold:
+                    buffer.sort(key=sort_key)
+                    counters.comparisons += len(buffer)
+                    run = SpillRun(buffer, self.spill_dir)
+                    runs.append(run)
+                    spilled_rows += run.records
+                    spill_bytes += run.bytes_written
+                    if governor is not None:
+                        governor.release_cells(resident_cells)
+                    buffer = []
+                    resident_cells = 0
+                buffer.append(buffered)
+                resident_cells += width
+                if len(buffer) > peak_resident_rows:
+                    peak_resident_rows = len(buffer)
+                if governor is not None:
+                    governor.charge_cells(width)
+            counters.peak_partition_rows = max(
+                counters.peak_partition_rows, peak_resident_rows
+            )
+            counters.spill_runs += len(runs)
+            counters.spilled_rows += spilled_rows
+            counters.spill_bytes += spill_bytes
+            if record is not None:
+                record.partition_rows += total
+                record.spill_runs += len(runs)
+                record.spilled_rows += spilled_rows
+                record.spill_bytes += spill_bytes
+            buffer.sort(key=sort_key)
+            counters.comparisons += len(buffer)
+            merged = (
+                merge_runs([*runs, buffer], key=sort_key) if runs else buffer
+            )
+            current_key: tuple | None = None
+            current_values: tuple = ()
+            bucket: list[Row] = []
+            for row in merged:
+                key_values = key_getter(row)
+                key = grouping_key(key_values)
+                if key != current_key:
+                    if current_key is not None:
+                        yield current_values, bucket
+                    current_key = key
+                    current_values = key_values
+                    bucket = []
+                bucket.append(row)
+            if current_key is not None:
+                yield current_values, bucket
+        finally:
+            for run in runs:
+                run.close()
+            if governor is not None and resident_cells:
+                governor.release_cells(resident_cells)
+
+    # ------------------------------------------------------------------
     # Execution phase
     # ------------------------------------------------------------------
 
     def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        threshold = self._effective_spill_threshold(ctx)
         if self.partitioning == HASH_PARTITION:
-            partitions = self._partition_hash(ctx)
+            if threshold is None:
+                partitions = self._partition_hash(ctx)
+            else:
+                partitions = self._partition_hash_spill(ctx, threshold)
         else:
-            partitions = self._partition_sort(ctx)
+            if threshold is None:
+                partitions = self._partition_sort(ctx)
+            else:
+                partitions = self._partition_sort_spill(ctx, threshold)
         if (
             self.backend == SERIAL_BACKEND
             or self.parallelism <= 1
@@ -222,7 +433,8 @@ class PGApply(PhysicalOperator):
         # avoids a dict copy per group.
         relations = dict(ctx.relations)
         group_ctx = ExecutionContext(
-            ctx.counters, ctx.scalars, relations, ctx.metrics, ctx.tracer
+            ctx.counters, ctx.scalars, relations, ctx.metrics, ctx.tracer,
+            ctx.governor,
         )
         for key_values, group_rows in partitions:
             if not pre_counted:
@@ -282,6 +494,7 @@ class PGApply(PhysicalOperator):
             metrics,
             metrics_prefix,
             gapply_path,
+            governor=ctx.governor,
         )
         # Force pool bring-up now: if the backend cannot start here (plan
         # not picklable, fork refused), fall back to the serial phase over

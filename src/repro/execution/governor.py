@@ -1,0 +1,223 @@
+"""Per-query resource governance: budgets and cancellation.
+
+The paper's §4.2 memory argument ranks plans by what they keep out of the
+GApply partition buffer; this module is where that argument stops being a
+counter and becomes policy. A :class:`Governor` is one query's resource
+authority, threaded through :class:`~repro.execution.context.
+ExecutionContext` (``ctx.governor``, ``None`` by default — plain execution
+pays nothing):
+
+* **wall-clock budget** (``timeout`` seconds) — checked on a stride of
+  rows flowing through every operator (``tick``), so even a single
+  pathological operator cannot run unbounded between checks;
+* **memory budget** (``memory_cells`` — cells, i.e. rows x width, the
+  same unit as ``Counters.buffered_cells``) — charged by buffering
+  operators (sort, distinct, hash-join build). GApply's partition phase
+  *spills to disk* under this budget instead of failing
+  (:mod:`repro.storage.spill`); operators with no spill path raise
+  :class:`~repro.errors.MemoryBudgetExceeded`;
+* **output-row budget** (``max_rows``) — enforced at the plan root by
+  :meth:`tick_output`;
+* **cancellation** — :meth:`cancel` may be called from any thread; the
+  running query observes it at the next stride check and raises
+  :class:`~repro.errors.QueryCancelled`.
+
+All violations raise *typed* errors from :mod:`repro.errors`, never bare
+``RuntimeError``, and raise them identically on the serial, thread and
+process GApply backends: thread workers share the parent's governor
+object; process workers rebuild a local replica from the picklable
+:meth:`worker_limits` snapshot shipped with each dispatch (the replica's
+deadline is the parent's remaining time at dispatch).
+
+The clock is injectable so tests can drive timeouts deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import (
+    MemoryBudgetExceeded,
+    PlanError,
+    QueryCancelled,
+    RowBudgetExceeded,
+    TimeoutExceeded,
+)
+
+#: Rows between wall-clock/cancellation checks. Small enough that a tight
+#: per-row loop notices a timeout within microseconds of work; large
+#: enough that the clock read disappears from profiles.
+CHECK_STRIDE = 512
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative per-query limits; ``None`` disables a dimension."""
+
+    timeout: float | None = None        # wall-clock seconds
+    memory_cells: int | None = None     # buffered cells (rows x width)
+    max_rows: int | None = None         # output rows at the plan root
+
+    def __post_init__(self) -> None:
+        # PlanError to match how the other Database.sql knobs reject bad
+        # values (see api._with_parallel_knobs) — and never a bare
+        # ValueError, per the package-root-error contract.
+        if self.timeout is not None and self.timeout <= 0:
+            raise PlanError(f"timeout must be > 0, got {self.timeout}")
+        if self.memory_cells is not None and self.memory_cells < 1:
+            raise PlanError(
+                f"memory_cells must be >= 1, got {self.memory_cells}"
+            )
+        if self.max_rows is not None and self.max_rows < 0:
+            raise PlanError(f"max_rows must be >= 0, got {self.max_rows}")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.timeout is None
+            and self.memory_cells is None
+            and self.max_rows is None
+        )
+
+
+class Governor:
+    """One query's cancellation token and budget enforcer.
+
+    Thread-safe where it must be: :meth:`cancel` uses an event, and the
+    stride counter is per-call-site harmless under races (a lost tick
+    delays a check by at most one stride). Cell accounting is guarded by
+    a lock because thread-backend workers charge concurrently.
+    """
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sql: str | None = None,
+    ):
+        self.budget = budget or Budget()
+        self.clock = clock
+        self.sql = sql
+        self.started = clock()
+        self.deadline = (
+            None
+            if self.budget.timeout is None
+            else self.started + self.budget.timeout
+        )
+        self._cancelled = threading.Event()
+        self._cancel_reason = "query cancelled"
+        self._ticks = 0
+        self._lock = threading.Lock()
+        self.cells_in_use = 0
+        self.peak_cells = 0
+        self.output_rows = 0
+
+    # ------------------------------------------------------------------
+    # Cancellation and wall clock
+    # ------------------------------------------------------------------
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Request cancellation; safe to call from any thread."""
+        self._cancel_reason = reason
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def remaining_seconds(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - self.clock()
+
+    def check(self) -> None:
+        """Raise the typed error for any tripped wall-clock/cancel state."""
+        if self._cancelled.is_set():
+            raise QueryCancelled(self._cancel_reason).add_context(sql=self.sql)
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise TimeoutExceeded(
+                f"query exceeded its {self.budget.timeout:g}s timeout"
+            ).add_context(sql=self.sql)
+
+    def tick(self, n: int = 1) -> None:
+        """Stride-counted :meth:`check`; called per row by every operator."""
+        self._ticks += n
+        if self._ticks >= CHECK_STRIDE:
+            self._ticks = 0
+            self.check()
+
+    # ------------------------------------------------------------------
+    # Memory (cells) budget
+    # ------------------------------------------------------------------
+
+    def charge_cells(self, n: int) -> None:
+        """Account ``n`` newly buffered cells; raise if over budget."""
+        with self._lock:
+            self.cells_in_use += n
+            if self.cells_in_use > self.peak_cells:
+                self.peak_cells = self.cells_in_use
+            over = (
+                self.budget.memory_cells is not None
+                and self.cells_in_use > self.budget.memory_cells
+            )
+        if over:
+            raise MemoryBudgetExceeded(
+                f"buffered {self.cells_in_use} cells, over the "
+                f"{self.budget.memory_cells}-cell memory budget"
+            ).add_context(sql=self.sql)
+
+    def release_cells(self, n: int) -> None:
+        with self._lock:
+            self.cells_in_use = max(0, self.cells_in_use - n)
+
+    def spill_threshold(self) -> int | None:
+        """The cell count at which spill-capable operators should start
+        spilling: the memory budget, if one is set."""
+        return self.budget.memory_cells
+
+    # ------------------------------------------------------------------
+    # Output-row budget (plan root only)
+    # ------------------------------------------------------------------
+
+    def tick_output(self, n: int = 1) -> None:
+        self.output_rows += n
+        if (
+            self.budget.max_rows is not None
+            and self.output_rows > self.budget.max_rows
+        ):
+            raise RowBudgetExceeded(
+                f"query produced more than max_rows={self.budget.max_rows} "
+                "output rows"
+            ).add_context(sql=self.sql)
+
+    # ------------------------------------------------------------------
+    # The cross-process protocol
+    # ------------------------------------------------------------------
+
+    def worker_limits(self) -> dict[str, Any] | None:
+        """Picklable limits for a process worker, or None when nothing
+        needs enforcing worker-side. The wall-clock budget is rebased to
+        *remaining* seconds so the worker's replica expires in step with
+        the parent (modulo dispatch latency, which only ever makes the
+        worker stricter later, never laxer)."""
+        remaining = self.remaining_seconds()
+        if remaining is None and not self._cancelled.is_set():
+            return None
+        return {
+            "timeout": max(1e-9, remaining) if remaining is not None else None,
+            "cancelled": self._cancelled.is_set(),
+        }
+
+    @classmethod
+    def from_worker_limits(
+        cls, limits: Mapping[str, Any] | None
+    ) -> "Governor | None":
+        if limits is None:
+            return None
+        governor = cls(Budget(timeout=limits.get("timeout")))
+        if limits.get("cancelled"):
+            governor.cancel()
+        return governor

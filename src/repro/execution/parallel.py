@@ -36,17 +36,43 @@ Workers never nest pools: a parallel GApply inside a per-group plan
 detects that it is running inside a worker (:func:`parallel_worker_active`)
 and falls back to the serial path, preventing fork bombs and thread
 oversubscription.
+
+Fault tolerance (the part the paper leaves to the host DBMS):
+
+* Pools are **context managers**. ``close()`` cancels pending work and —
+  for the process backend — terminates and reaps child processes, so a
+  ``KeyboardInterrupt`` or any exception mid-query never strands orphans.
+  :func:`run_groups_parallel` enters the pool around consumption, which
+  also covers abandoning the row iterator (generator-close protocol).
+* The **process backend survives worker crashes**: a dead child breaks
+  the whole ``ProcessPoolExecutor``, so the pool rebuilds the executor
+  and resubmits every batch not yet merged, with exponential backoff, up
+  to :data:`MAX_CRASH_RETRIES` times. Because results are consumed in
+  submission order and counters are merged per consumed batch, the
+  completed prefix is never re-run or double-counted.
+* When retries are exhausted, :func:`run_groups_parallel` walks the
+  **degradation ladder** ``process -> thread -> serial`` over the
+  *remaining* batches, with a structured ``RuntimeWarning`` per rung —
+  the query still answers correctly, just slower.
+* Workers enforce the query's budget: thread workers share the parent's
+  :class:`~repro.execution.governor.Governor`; process workers rebuild a
+  local replica from the picklable limits shipped in the pool payload,
+  so a timeout raises the same typed error on every backend.
+* Dispatch carries each batch's index and attempt number, which is what
+  lets the fault-injection harness (:mod:`repro.execution.faults`) kill
+  or delay a *chosen* batch deterministically.
 """
 
 from __future__ import annotations
 
-import itertools
 import os
 import pickle
 import threading
+import time
+import warnings
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, WorkerCrashed
 from repro.execution.base import PhysicalOperator
 from repro.execution.context import Counters, ExecutionContext
 from repro.storage.table import Row
@@ -67,6 +93,20 @@ BatchResult = tuple[list, dict, dict | None]
 #: Target number of batches per worker; >1 so a skewed group distribution
 #: still load-balances instead of leaving workers idle behind one big batch.
 BATCHES_PER_WORKER = 4
+
+#: How many times the process backend rebuilds a crashed pool before
+#: giving up and letting the degradation ladder take over.
+MAX_CRASH_RETRIES = 3
+
+#: First backoff delay after a worker crash; doubles per retry.
+CRASH_BACKOFF_SECONDS = 0.05
+
+#: The degradation ladder: where to go when a backend's retries run out.
+DEGRADATION_LADDER = {PROCESS_BACKEND: THREAD_BACKEND,
+                      THREAD_BACKEND: SERIAL_BACKEND}
+
+#: Injectable for tests (so crash-retry tests don't actually sleep long).
+_sleep = time.sleep
 
 
 class ParallelUnavailable(ExecutionError):
@@ -99,6 +139,9 @@ def execute_group_batch(
     relations: Mapping[str, Sequence[Row]],
     batch: Sequence[Group],
     collect_metrics: bool = False,
+    governor: "Any | None" = None,
+    batch_index: int = 0,
+    attempt: int = 0,
 ) -> BatchResult:
     """Run the per-group plan over each group in ``batch``.
 
@@ -117,7 +160,16 @@ def execute_group_batch(
     :data:`~repro.observe.metrics.ENCLOSING_GAPPLY` key. Tracer spans are
     never shipped (worker wall-clocks are not comparable across
     processes).
+
+    ``governor`` (the parent's, for thread workers, or a local replica,
+    for process workers) is threaded into the worker's context so the
+    per-group plan's own operators stride-check the budget; ``batch_index``
+    and ``attempt`` identify this dispatch to the fault-injection
+    registry.
     """
+    from repro.execution.faults import on_worker_batch
+
+    on_worker_batch(batch_index, attempt)
     counters = Counters()
     bound = dict(relations)
     registry = None
@@ -126,7 +178,8 @@ def execute_group_batch(
 
         registry = MetricsRegistry()
         registry.register_plan(plan)
-    ctx = ExecutionContext(counters, scalars, bound, registry)
+    ctx = ExecutionContext(counters, scalars, bound, registry,
+                           governor=governor)
     out: list[Row] = []
     append = out.append
     empty_groups = 0
@@ -189,28 +242,47 @@ def _run_batch_in_thread(
     relations: Mapping[str, Sequence[Row]],
     batch: Sequence[Group],
     collect_metrics: bool = False,
+    governor: "Any | None" = None,
+    batch_index: int = 0,
 ) -> BatchResult:
     _thread_worker.active = True
     try:
         return execute_group_batch(
-            plan, group_variable, scalars, relations, batch, collect_metrics
+            plan, group_variable, scalars, relations, batch, collect_metrics,
+            governor=governor, batch_index=batch_index,
         )
     finally:
         _thread_worker.active = False
 
 
 def _init_process_worker(payload: bytes) -> None:
-    """Process-pool initializer: unpickle the shipped plan exactly once."""
+    """Process-pool initializer: unpickle the shipped plan exactly once,
+    install the shipped fault plan (chaos tests), and build the local
+    governor replica from the shipped budget limits."""
     global _process_payload, _in_process_worker
-    _process_payload = _plan_pickler().loads(payload)
+    plan, group_variable, scalars, relations, collect_metrics, limits, \
+        fault_plan = _plan_pickler().loads(payload)
+    from repro.execution.faults import install_plan
+    from repro.execution.governor import Governor
+
+    install_plan(fault_plan)
+    governor = Governor.from_worker_limits(limits)
+    _process_payload = (
+        plan, group_variable, scalars, relations, collect_metrics, governor
+    )
     _in_process_worker = True
 
 
-def _run_batch_in_process(batch: Sequence[Group]) -> BatchResult:
+def _run_batch_in_process(
+    batch: Sequence[Group], batch_index: int = 0, attempt: int = 0
+) -> BatchResult:
     assert _process_payload is not None, "worker initializer did not run"
-    plan, group_variable, scalars, relations, collect_metrics = _process_payload
+    plan, group_variable, scalars, relations, collect_metrics, governor = (
+        _process_payload
+    )
     return execute_group_batch(
-        plan, group_variable, scalars, relations, batch, collect_metrics
+        plan, group_variable, scalars, relations, batch, collect_metrics,
+        governor=governor, batch_index=batch_index, attempt=attempt,
     )
 
 
@@ -237,6 +309,11 @@ class WorkerPool:
     ``run`` is a generator: results stream back in submission order, and
     abandoning the iterator (e.g. a LIMIT above GApply stops consuming)
     releases the underlying executor via the generator-close protocol.
+
+    Pools are context managers: ``close()`` is idempotent and releases
+    whatever executor the backend holds — for the process backend it also
+    terminates and reaps child processes, so no exception path (including
+    ``KeyboardInterrupt``) strands orphans.
     """
 
     backend = SERIAL_BACKEND
@@ -248,6 +325,17 @@ class WorkerPool:
             )
         self.parallelism = parallelism
 
+    def close(self) -> None:
+        """Release backend resources; idempotent. The serial pool holds
+        none."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
     def run(
         self,
         plan: PhysicalOperator,
@@ -256,10 +344,14 @@ class WorkerPool:
         relations: Mapping[str, Sequence[Row]],
         batches: Iterable[Sequence[Group]],
         collect_metrics: bool = False,
+        governor: "Any | None" = None,
+        start_index: int = 0,
     ) -> Iterator[BatchResult]:
-        for batch in batches:
+        for index, batch in enumerate(batches):
             yield execute_group_batch(
-                plan, group_variable, scalars, relations, batch, collect_metrics
+                plan, group_variable, scalars, relations, batch,
+                collect_metrics, governor=governor,
+                batch_index=start_index + index,
             )
 
     @staticmethod
@@ -279,29 +371,45 @@ class WorkerPool:
 
 
 class ThreadWorkerPool(WorkerPool):
-    """Thread-pool backend: shared heap, GIL-bound interpretation."""
+    """Thread-pool backend: shared heap, GIL-bound interpretation.
+
+    Thread workers share the parent's governor object directly — same
+    heap, so the parent's budget accounting covers them with no shipping
+    protocol. Threads cannot be killed, so this backend has no crash
+    recovery; it sits below ``process`` on the degradation ladder.
+    """
 
     backend = THREAD_BACKEND
 
+    def __init__(self, parallelism: int = 1):
+        super().__init__(parallelism)
+        self._executor = None
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
     def run(self, plan, group_variable, scalars, relations, batches,
-            collect_metrics=False):
+            collect_metrics=False, governor=None, start_index=0):
         from concurrent.futures import ThreadPoolExecutor
 
         batches = list(batches)
         if not batches:
             return
-        try:
-            executor = ThreadPoolExecutor(
-                max_workers=self.parallelism,
-                thread_name_prefix="gapply-worker",
-            )
-        except RuntimeError as exc:  # thread limit reached
-            raise ParallelUnavailable(
-                f"cannot start thread pool: {exc}"
-            ) from exc
+        if self._executor is None:
+            try:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.parallelism,
+                    thread_name_prefix="gapply-worker",
+                )
+            except RuntimeError as exc:  # thread limit reached
+                raise ParallelUnavailable(
+                    f"cannot start thread pool: {exc}"
+                ) from exc
         try:
             futures = [
-                executor.submit(
+                self._executor.submit(
                     _run_batch_in_thread,
                     plan,
                     group_variable,
@@ -309,31 +417,68 @@ class ThreadWorkerPool(WorkerPool):
                     relations,
                     batch,
                     collect_metrics,
+                    governor,
+                    start_index + index,
                 )
-                for batch in batches
+                for index, batch in enumerate(batches)
             ]
             for future in futures:
                 yield future.result()
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            self.close()
 
 
 class ProcessWorkerPool(WorkerPool):
-    """Process-pool backend: pickled plan shipped once per worker."""
+    """Process-pool backend: pickled plan shipped once per worker.
+
+    This is the only backend whose workers can *die* (OOM kill, segfault,
+    injected ``os._exit``). A dead child breaks the whole
+    ``ProcessPoolExecutor``, surfacing as ``BrokenExecutor`` on the next
+    ``future.result()``; ``run`` then discards the broken executor
+    (terminating and reaping its children), backs off exponentially,
+    rebuilds, and resubmits every batch not yet consumed — the consumed
+    prefix was already yielded and merged, so nothing is re-run or
+    double-counted. After :data:`MAX_CRASH_RETRIES` rebuilds the pool
+    raises :class:`~repro.errors.WorkerCrashed` carrying how many batches
+    made it, and :func:`run_groups_parallel` takes the degradation ladder
+    from there.
+    """
 
     backend = PROCESS_BACKEND
 
+    def __init__(self, parallelism: int = 1):
+        super().__init__(parallelism)
+        self._executor = None
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        executor.shutdown(wait=False, cancel_futures=True)
+        # shutdown() alone does not reap a *broken* pool's survivors (and
+        # with wait=False may not reap healthy ones before we move on):
+        # terminate and join every child so no orphans outlive the query.
+        processes = getattr(executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            if proc.is_alive():
+                proc.terminate()
+        for proc in list(processes.values()):
+            proc.join(timeout=5)
+
     def run(self, plan, group_variable, scalars, relations, batches,
-            collect_metrics=False):
+            collect_metrics=False, governor=None, start_index=0):
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        from repro.execution import faults
 
         batches = list(batches)
         if not batches:
             return
+        limits = governor.worker_limits() if governor is not None else None
         try:
             payload = _plan_pickler().dumps(
                 (plan, group_variable, dict(scalars), dict(relations),
-                 collect_metrics)
+                 collect_metrics, limits, faults.active_plan())
             )
         except Exception as exc:
             raise ParallelUnavailable(
@@ -341,32 +486,55 @@ class ProcessWorkerPool(WorkerPool):
                 f"({type(exc).__name__}: {exc}); install cloudpickle or use "
                 f"backend={THREAD_BACKEND!r}/{SERIAL_BACKEND!r}"
             ) from exc
+        consumed = 0
+        retries = 0
+        attempts = [0] * len(batches)
         try:
-            executor = ProcessPoolExecutor(
-                max_workers=min(self.parallelism, len(batches)),
-                initializer=_init_process_worker,
-                initargs=(payload,),
-            )
-        except (OSError, PermissionError, ValueError) as exc:
-            raise ParallelUnavailable(
-                f"cannot start process pool: {exc}"
-            ) from exc
-        try:
-            try:
-                futures = [
-                    executor.submit(_run_batch_in_process, batch)
-                    for batch in batches
-                ]
-                first = futures[0].result()
-            except BrokenExecutor as exc:
-                raise ParallelUnavailable(
-                    f"process pool died at bring-up: {exc}"
-                ) from exc
-            yield first
-            for future in futures[1:]:
-                yield future.result()
+            while consumed < len(batches):
+                if self._executor is None:
+                    try:
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=min(
+                                self.parallelism, len(batches) - consumed
+                            ),
+                            initializer=_init_process_worker,
+                            initargs=(payload,),
+                        )
+                    except (OSError, PermissionError, ValueError) as exc:
+                        raise ParallelUnavailable(
+                            f"cannot start process pool: {exc}"
+                        ) from exc
+                try:
+                    futures = [
+                        self._executor.submit(
+                            _run_batch_in_process,
+                            batches[index],
+                            start_index + index,
+                            attempts[index],
+                        )
+                        for index in range(consumed, len(batches))
+                    ]
+                    for future in futures:
+                        result = future.result()
+                        consumed += 1
+                        yield result
+                except BrokenExecutor as exc:
+                    self.close()  # reap the broken pool's children
+                    retries += 1
+                    if retries > MAX_CRASH_RETRIES:
+                        raise WorkerCrashed(
+                            "process worker died "
+                            f"{retries} times on batch "
+                            f"{start_index + consumed}; giving up on the "
+                            f"{PROCESS_BACKEND!r} backend with "
+                            f"{consumed}/{len(batches)} batches done",
+                            consumed_batches=consumed,
+                        ) from exc
+                    for index in range(consumed, len(batches)):
+                        attempts[index] += 1
+                    _sleep(CRASH_BACKOFF_SECONDS * (2 ** (retries - 1)))
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            self.close()
 
 
 def run_groups_parallel(
@@ -381,12 +549,19 @@ def run_groups_parallel(
     metrics: "Any | None" = None,
     metrics_prefix: str = "",
     gapply_path: str | None = None,
+    governor: "Any | None" = None,
 ) -> Iterator[Row]:
     """Dispatch groups through ``pool``; merge counters; stream rows.
 
     Raises :class:`ParallelUnavailable` before yielding anything if the
-    backend cannot be brought up, so the caller can still fall back to a
-    serial pass over the same ``groups``.
+    original backend cannot be brought up, so the caller can still fall
+    back to a serial pass over the same ``groups``. Once results have
+    started flowing that escape hatch is gone (rows were already yielded),
+    so mid-stream failures — worker-crash retries exhausted, or a
+    replacement backend failing bring-up — instead walk the degradation
+    ladder ``process -> thread -> serial`` over the *remaining* batches,
+    announcing each rung with a ``RuntimeWarning``. The consumed prefix
+    is never re-dispatched, so counters and metrics stay exact.
 
     When ``metrics`` (the parent's :class:`MetricsRegistry`) is given,
     workers collect per-operator metrics and each batch snapshot is merged
@@ -394,22 +569,52 @@ def run_groups_parallel(
     plan — in dispatch order, making the merged registry identical to a
     serial run's. ``gapply_path`` routes the workers' empty-group counts
     to the enclosing GApply's record.
+
+    ``governor`` is the query's budget enforcer; it is threaded to every
+    worker (shared object for threads, shipped limits for processes) so
+    budget violations raise the same typed error on every backend.
     """
     batches = make_batches(groups, pool.parallelism, batch_size)
-    results = pool.run(
-        plan, group_variable, scalars, relations, batches,
-        collect_metrics=metrics is not None,
-    )
-    # Force bring-up (pickling, executor start) before the first yield so
-    # ParallelUnavailable escapes while fallback is still possible.
-    try:
-        head = next(results)
-    except StopIteration:
+    if not batches:
         return
-    for rows, snapshot, metrics_snapshot in itertools.chain((head,), results):
-        counters.merge(Counters.from_snapshot(snapshot))
-        if metrics is not None and metrics_snapshot is not None:
-            metrics.merge_snapshot(
-                metrics_snapshot, metrics_prefix, gapply_path
+    collect = metrics is not None
+    consumed = 0
+    current = pool
+    while True:
+        results = current.run(
+            plan, group_variable, scalars, relations, batches[consumed:],
+            collect_metrics=collect, governor=governor,
+            start_index=consumed,
+        )
+        try:
+            with current:
+                for rows, snapshot, metrics_snapshot in results:
+                    counters.merge(Counters.from_snapshot(snapshot))
+                    if metrics is not None and metrics_snapshot is not None:
+                        metrics.merge_snapshot(
+                            metrics_snapshot, metrics_prefix, gapply_path
+                        )
+                    consumed += 1
+                    yield from rows
+            return
+        except (WorkerCrashed, ParallelUnavailable) as exc:
+            if (
+                isinstance(exc, ParallelUnavailable)
+                and consumed == 0
+                and current is pool
+            ):
+                # Nothing dispatched yet: re-raise so PGApply's existing
+                # whole-query serial fallback handles it.
+                raise
+            next_backend = DEGRADATION_LADDER.get(current.backend)
+            if next_backend is None:
+                raise
+            warnings.warn(
+                f"GApply {current.backend!r} backend failed "
+                f"({type(exc).__name__}: {exc}); degrading to "
+                f"{next_backend!r} for the remaining "
+                f"{len(batches) - consumed} of {len(batches)} batches",
+                RuntimeWarning,
+                stacklevel=2,
             )
-        yield from rows
+            current = WorkerPool.create(next_backend, current.parallelism)

@@ -11,12 +11,23 @@ The subsystem has four moving parts:
   configuration (each rule disabled, all rules off, every backend) and
   demands identical results;
 * :mod:`repro.fuzz.shrink` / :mod:`repro.fuzz.corpus` — minimize failures
-  and persist them as replayable JSON reproducers.
+  and persist them as replayable JSON reproducers;
+* :mod:`repro.fuzz.chaos` — seeded fault injection (killed workers,
+  delayed batches, failing spill writes) plus adversarial budgets,
+  asserting correct rows or a typed error, never a wrong answer.
 
 ``python -m repro.fuzz --seed 0 --n 500`` drives all of it; see
 :mod:`repro.fuzz.runner`.
 """
 
+from repro.fuzz.chaos import (
+    ChaosCase,
+    ChaosFailure,
+    ChaosReport,
+    build_case,
+    run_chaos,
+    run_chaos_case,
+)
 from repro.fuzz.corpus import CorpusCase, load_corpus, save_case
 from repro.fuzz.generator import FuzzCase, FuzzDatabase, generate_case
 from repro.fuzz.oracle import (
@@ -37,6 +48,9 @@ from repro.fuzz.shrink import shrink_case
 
 __all__ = [
     "CorpusCase",
+    "ChaosCase",
+    "ChaosFailure",
+    "ChaosReport",
     "FuzzCase",
     "FuzzDatabase",
     "FuzzFailure",
@@ -44,6 +58,7 @@ __all__ = [
     "FULL_PROFILE",
     "Mismatch",
     "QUICK_PROFILE",
+    "build_case",
     "compare_multisets",
     "generate_case",
     "load_corpus",
@@ -51,6 +66,8 @@ __all__ = [
     "plan_configurations",
     "profile_configurations",
     "run_case",
+    "run_chaos",
+    "run_chaos_case",
     "run_fuzz",
     "run_oracle",
     "save_case",

@@ -45,8 +45,17 @@ def main(argv: list[str] | None = None) -> int:
         default=5,
         help="stop after this many distinct failures (default 5)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run chaos mode instead: seeded fault plans (worker kills, "
+        "delays, spill failures) and adversarial budgets, asserting "
+        "correct rows or a typed error",
+    )
     args = parser.parse_args(argv)
 
+    if args.chaos:
+        return _chaos_main(args)
     start = time.perf_counter()
     report = run_fuzz(
         seed=args.seed,
@@ -58,6 +67,35 @@ def main(argv: list[str] | None = None) -> int:
         progress=lambda message: print(message, flush=True),
     )
     elapsed = time.perf_counter() - start
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s")
+    return 0 if report.ok else 1
+
+
+def _chaos_main(args) -> int:
+    from repro.fuzz.chaos import run_chaos
+
+    start = time.perf_counter()
+    report = run_chaos(
+        seed=args.seed,
+        n=args.n,
+        stop_after=args.stop_after,
+        progress=lambda message: print(message, flush=True),
+    )
+    elapsed = time.perf_counter() - start
+    if report.failures and args.corpus_dir:
+        import json
+        from pathlib import Path
+
+        directory = Path(args.corpus_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "chaos-failures.json"
+        path.write_text(
+            json.dumps(
+                [failure.describe() for failure in report.failures], indent=2
+            )
+        )
+        print(f"failing fault plans written to {path}")
     print(report.summary())
     print(f"elapsed: {elapsed:.1f}s")
     return 0 if report.ok else 1

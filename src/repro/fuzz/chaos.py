@@ -1,0 +1,305 @@
+"""Chaos mode: seeded fault plans against live GApply queries.
+
+The differential fuzzer (:mod:`repro.fuzz.runner`) checks the engine
+against a SQLite oracle on *clean* runs. Chaos mode checks the other half
+of the robustness contract: under injected faults — killed process
+workers, delayed batches, failing spill writes — and under adversarial
+budgets, every query must end in one of exactly two ways:
+
+* the **correct rows** (identical to an unfaulted serial run), or
+* a **typed error** from :mod:`repro.errors` that the scenario allows.
+
+Never a wrong answer, never a hang, never a bare ``RuntimeError``, never
+an orphaned worker process. Each seed deterministically picks a scenario,
+a fault plan and budget knobs, so a failing seed replays exactly.
+
+Scenarios (one per case, chosen by the seed):
+
+==================  ======================================================
+``worker-kill``     a process worker dies once; crash recovery must retry
+                    and still produce correct rows
+``kill-exhaust``    the same batch dies on every attempt; retries exhaust
+                    and the degradation ladder (process -> thread) must
+                    still produce correct rows, with a ``RuntimeWarning``
+``delay-timeout``   a batch is delayed past a tiny wall-clock budget;
+                    either the query beats the clock (correct rows) or it
+                    raises ``TimeoutExceeded``
+``spill-fail``      a memory budget forces the partition phase to spill
+                    and the Nth spill write fails; correct rows (fault
+                    landed past the last write) or ``SpillError``
+``memory-budget``   a sort-carrying query under a random cell budget;
+                    correct rows or ``MemoryBudgetExceeded`` (sorts have
+                    no spill path)
+``row-budget``      a random ``max_rows``; correct rows when under, else
+                    ``RowBudgetExceeded``
+``clean-spill``     a memory budget small enough to force spilling, no
+                    faults; must be byte-identical to the in-memory run
+==================  ======================================================
+
+The fixture is the tiny TPC-H instance the paper queries run on
+(SF=0.01), built once per process; expected rows come from a plain
+serial run of the same SQL.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.api import Database
+from repro.errors import (
+    BudgetExceeded,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    ReproError,
+    RowBudgetExceeded,
+    SpillError,
+    TimeoutExceeded,
+)
+from repro.execution.faults import FaultPlan, fault_injection
+from repro.execution.parallel import (
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+    THREAD_BACKEND,
+)
+from repro.workloads.queries import Q1
+from repro.workloads.tpch import TpchConfig, load_tpch
+
+#: Scenario names, in the order the seed's RNG draws from.
+SCENARIOS = (
+    "worker-kill",
+    "kill-exhaust",
+    "delay-timeout",
+    "spill-fail",
+    "memory-budget",
+    "row-budget",
+    "clean-spill",
+)
+
+#: Dispatch-batch count the fixture query produces at parallelism 2
+#: (one supplier group per batch); kill/delay batch indices draw from it.
+FIXTURE_BATCHES = 4
+
+
+@dataclass
+class ChaosFixture:
+    """The shared database plus precomputed clean-run answers."""
+
+    db: Database
+    gapply_sql: str
+    baseline_sql: str
+    gapply_rows: list[tuple]
+    baseline_rows: list[tuple]
+
+
+_fixture: ChaosFixture | None = None
+
+
+def chaos_fixture() -> ChaosFixture:
+    """Build (once) the tiny TPC-H database and the expected rows."""
+    global _fixture
+    if _fixture is None:
+        db = Database()
+        load_tpch(db.catalog, TpchConfig())
+        gapply_rows = list(db.sql(Q1.gapply_sql).rows)
+        baseline_rows = list(db.sql(Q1.baseline_sql).rows)
+        _fixture = ChaosFixture(
+            db=db,
+            gapply_sql=Q1.gapply_sql,
+            baseline_sql=Q1.baseline_sql,
+            gapply_rows=gapply_rows,
+            baseline_rows=baseline_rows,
+        )
+    return _fixture
+
+
+@dataclass
+class ChaosCase:
+    """Everything one seed decided: replaying the seed rebuilds it."""
+
+    seed: int
+    scenario: str
+    sql: str
+    expected: list[tuple]
+    fault: FaultPlan | None = None
+    backend: str = SERIAL_BACKEND
+    parallelism: int = 1
+    timeout: float | None = None
+    memory_budget: int | None = None
+    max_rows: int | None = None
+    #: Error types that count as a correct outcome for this scenario.
+    allowed_errors: tuple[type, ...] = ()
+    #: Must the run end in correct rows (no error tolerated)?
+    must_succeed: bool = True
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "parallelism": self.parallelism,
+            "timeout": self.timeout,
+            "memory_budget": self.memory_budget,
+            "max_rows": self.max_rows,
+            "fault": None if self.fault is None else self.fault.to_dict(),
+            "allowed_errors": [e.__name__ for e in self.allowed_errors],
+        }
+
+
+def build_case(seed: int) -> ChaosCase:
+    """Deterministically derive one chaos case from its seed."""
+    fixture = chaos_fixture()
+    rng = random.Random(seed)
+    scenario = rng.choice(SCENARIOS)
+    sql = fixture.gapply_sql
+    expected = fixture.gapply_rows
+    case = ChaosCase(seed=seed, scenario=scenario, sql=sql, expected=expected)
+
+    if scenario == "worker-kill":
+        case.backend = PROCESS_BACKEND
+        case.parallelism = 2
+        case.fault = FaultPlan(
+            seed=seed,
+            kill_batch=rng.randrange(FIXTURE_BATCHES),
+            kill_attempts=1,
+        )
+    elif scenario == "kill-exhaust":
+        case.backend = PROCESS_BACKEND
+        case.parallelism = 2
+        case.fault = FaultPlan(
+            seed=seed,
+            kill_batch=rng.randrange(FIXTURE_BATCHES),
+            kill_attempts=99,
+        )
+    elif scenario == "delay-timeout":
+        case.backend = rng.choice(
+            (SERIAL_BACKEND, THREAD_BACKEND, PROCESS_BACKEND)
+        )
+        case.parallelism = 1 if case.backend == SERIAL_BACKEND else 2
+        case.fault = FaultPlan(
+            seed=seed,
+            delay_batch=rng.randrange(FIXTURE_BATCHES),
+            delay_seconds=rng.uniform(0.02, 0.08),
+        )
+        case.timeout = rng.uniform(0.005, 0.05)
+        case.allowed_errors = (TimeoutExceeded, QueryCancelled)
+        case.must_succeed = False
+    elif scenario == "spill-fail":
+        case.memory_budget = rng.choice((64, 128, 256))
+        case.fault = FaultPlan(seed=seed, fail_spill_at=rng.randrange(64))
+        case.allowed_errors = (SpillError,)
+        case.must_succeed = False
+    elif scenario == "memory-budget":
+        # The baseline formulation carries an ORDER BY: its sort has no
+        # spill path, so a small budget must raise, never misbehave.
+        case.sql = fixture.baseline_sql
+        case.expected = fixture.baseline_rows
+        case.memory_budget = rng.choice((32, 256, 4096, 1 << 20))
+        case.allowed_errors = (MemoryBudgetExceeded,)
+        case.must_succeed = False
+    elif scenario == "row-budget":
+        case.max_rows = rng.randrange(0, len(expected) + 5)
+        if case.max_rows < len(expected):
+            case.allowed_errors = (RowBudgetExceeded,)
+            case.must_succeed = False
+    elif scenario == "clean-spill":
+        case.memory_budget = rng.choice((64, 128, 512))
+    return case
+
+
+@dataclass
+class ChaosFailure:
+    """One broken invariant, with everything needed to replay it."""
+
+    case: ChaosCase
+    detail: str
+
+    def describe(self) -> dict[str, Any]:
+        return {**self.case.describe(), "detail": self.detail}
+
+
+@dataclass
+class ChaosReport:
+    cases: int = 0
+    outcomes: dict[str, int] = field(default_factory=dict)
+    failures: list[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        mix = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.outcomes.items())
+        )
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        return f"chaos: {self.cases} cases, {status} ({mix})"
+
+
+def run_chaos_case(case: ChaosCase) -> str | None:
+    """Run one case; return None when the invariant held, else a detail
+    string describing how it broke."""
+    fixture = chaos_fixture()
+    kwargs: dict[str, Any] = {
+        "backend": case.backend,
+        "parallelism": case.parallelism,
+        "timeout": case.timeout,
+        "memory_budget": case.memory_budget,
+        "max_rows": case.max_rows,
+        # GApply must survive to execution for faults/spill to bite; the
+        # optimizer may otherwise rewrite it into a plain aggregate.
+        "optimize": False,
+    }
+    try:
+        with warnings.catch_warnings():
+            # Degradation-ladder warnings are expected chaos behavior.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            if case.fault is not None:
+                with fault_injection(case.fault):
+                    result = fixture.db.sql(case.sql, **kwargs)
+            else:
+                result = fixture.db.sql(case.sql, **kwargs)
+    except ReproError as error:
+        if isinstance(error, case.allowed_errors):
+            return None
+        return (
+            f"unexpected typed error {type(error).__name__}: {error} "
+            f"(allowed: {[e.__name__ for e in case.allowed_errors]})"
+        )
+    except Exception as error:  # noqa: BLE001 - the invariant under test
+        return f"untyped error escaped: {type(error).__name__}: {error}"
+    if list(result.rows) != case.expected:
+        return (
+            f"wrong answer: {len(result.rows)} rows != "
+            f"{len(case.expected)} expected"
+        )
+    return None
+
+
+def run_chaos(
+    seed: int = 0,
+    n: int = 50,
+    stop_after: int = 5,
+    progress: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Sweep ``n`` seeded fault plans; see the module docstring for the
+    invariant each one asserts."""
+    report = ChaosReport()
+    for case_seed in range(seed, seed + n):
+        case = build_case(case_seed)
+        detail = run_chaos_case(case)
+        report.cases += 1
+        report.outcomes[case.scenario] = (
+            report.outcomes.get(case.scenario, 0) + 1
+        )
+        if detail is not None:
+            report.failures.append(ChaosFailure(case, detail))
+            if progress is not None:
+                progress(f"seed {case_seed} [{case.scenario}] FAILED: {detail}")
+            if len(report.failures) >= stop_after:
+                break
+        elif progress is not None and report.cases % 25 == 0:
+            progress(f"{report.cases}/{n} cases ok")
+    return report

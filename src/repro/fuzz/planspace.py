@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import PlanError
 from repro.optimizer.planner import PlannerOptions
 
 # Cap exploration per configuration: fuzz queries are small, and the full
@@ -92,4 +93,4 @@ def profile_configurations(profile: str) -> list[PlanConfig]:
         return plan_configurations(full=True)
     if profile == QUICK_PROFILE:
         return plan_configurations(full=False)
-    raise ValueError(f"unknown fuzz profile {profile!r}")
+    raise PlanError(f"unknown fuzz profile {profile!r}")

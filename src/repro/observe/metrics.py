@@ -42,6 +42,9 @@ COUNTER_FIELDS = (
     "groups_formed",
     "empty_groups_skipped",
     "partition_rows",
+    "spill_runs",
+    "spilled_rows",
+    "spill_bytes",
 )
 
 #: The synthetic snapshot key a worker uses for counters that belong to the
@@ -74,13 +77,8 @@ class OperatorMetrics:
     def __init__(self, path: str, label: str):
         self.path = path
         self.label = label
-        self.executions = 0
-        self.rows_out = 0
-        self.comparisons = 0
-        self.index_probes = 0
-        self.groups_formed = 0
-        self.empty_groups_skipped = 0
-        self.partition_rows = 0
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
         self.elapsed_ns = 0
 
     def counters(self, include_time: bool = False) -> dict[str, int]:

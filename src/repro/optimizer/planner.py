@@ -104,6 +104,12 @@ class PlannerOptions:
     gapply_backend: str = SERIAL_BACKEND
     gapply_parallelism: int = 1
     gapply_batch_size: int | None = None
+    #: Force the GApply partition phase to spill to disk once this many
+    #: cells are resident (None = spill only under a governor's memory
+    #: budget). ``gapply_spill_dir`` overrides where run files live —
+    #: tests point it at a tmpdir to assert cleanup.
+    gapply_spill_threshold: int | None = None
+    gapply_spill_dir: str | None = None
     disabled_rules: tuple[str, ...] = ()
     optimizer_max_alternatives: int | None = None
     collect_estimates: bool = False
@@ -340,6 +346,8 @@ class Planner:
             parallelism=self.options.gapply_parallelism,
             backend=self.options.gapply_backend,
             batch_size=self.options.gapply_batch_size,
+            spill_threshold=self.options.gapply_spill_threshold,
+            spill_dir=self.options.gapply_spill_dir,
         )
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.errors import BindError
+
 
 class AstNode:
     """Marker base class for AST nodes."""
@@ -198,7 +200,7 @@ class AstQuery(AstNode):
     @property
     def single(self) -> AstSelect:
         if len(self.selects) != 1:
-            raise ValueError("query is a union, not a single select")
+            raise BindError("query is a union, not a single select")
         return self.selects[0]
 
 

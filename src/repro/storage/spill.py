@@ -1,0 +1,212 @@
+"""Spill files: disk-backed row storage for memory-bounded partitioning.
+
+DESIGN.md §9 used to admit the engine "is entirely in-memory and never
+spills"; this module is the half that changes that. GApply's partition
+phase (:mod:`repro.execution.gapply`) writes buffered rows into spill
+files when a cell budget is in force, keeping only a bounded buffer (plus
+a per-key directory) in memory.
+
+**Row codec.** A spill file is a flat sequence of framed records::
+
+    record   := length payload
+    length   := 4-byte big-endian unsigned int, len(payload)
+    payload  := pickle.dumps(obj, protocol=4)
+
+where ``obj`` is a plain row tuple (hash-partition spill) or a row tuple
+in a sorted run (sort-partition spill). Pickle round-trips every value
+type the engine stores (int/float/str/bytes/bool/None) exactly, which is
+what makes spilled execution *byte-identical* to in-memory execution —
+the acceptance bar the spill tests enforce. The 4-byte frame caps one
+record at 4 GiB, far beyond any row this engine buffers.
+
+Two access patterns, two classes:
+
+* :class:`SpillFile` — append records, read them back either
+  sequentially or by the offset returned at append time (the
+  hash-partition directory keeps ``key -> [offset, ...]`` in memory and
+  seeks per row on read-back);
+* :class:`SpillRun` + :func:`merge_runs` — sorted runs for the external
+  sort partition: each run is written pre-sorted and ``heapq.merge``
+  re-reads them in key order. ``heapq.merge`` is stable across inputs in
+  argument order, so passing runs in creation order (and the in-memory
+  tail last) reproduces Python's stable in-memory sort exactly.
+
+Every write funnels through :func:`_write_record`, which consults the
+fault-injection registry (:mod:`repro.execution.faults`) so chaos tests
+can fail the Nth spill write and assert the typed
+:class:`~repro.errors.SpillError` surfaces instead of a wrong answer.
+
+Files are created with ``tempfile`` in ``spill_dir`` (default: the
+system temp dir), unlinked on :meth:`close`; the partition generators
+close their spill state in ``finally`` blocks, so abandoning a query
+mid-stream still reclaims the disk.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import struct
+import tempfile
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SpillError
+
+_LENGTH = struct.Struct(">I")
+PICKLE_PROTOCOL = 4
+
+
+def _write_record(handle, obj: Any) -> int:
+    """Frame and write one record; returns the encoded byte count.
+
+    The single choke point for spill I/O: fault injection hooks in here,
+    and any OS-level failure is re-raised as the typed
+    :class:`SpillError` so a failing disk can never surface as a bare
+    ``OSError`` from deep inside a generator.
+    """
+    from repro.execution.faults import check_spill_write
+
+    check_spill_write()
+    try:
+        payload = pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+        handle.write(_LENGTH.pack(len(payload)))
+        handle.write(payload)
+    except (OSError, pickle.PicklingError) as exc:
+        raise SpillError(f"spill write failed: {exc}") from exc
+    return _LENGTH.size + len(payload)
+
+
+def _read_record_at(handle, offset: int) -> Any:
+    try:
+        handle.seek(offset)
+        header = handle.read(_LENGTH.size)
+        if len(header) != _LENGTH.size:
+            raise SpillError(
+                f"truncated spill record header at offset {offset}"
+            )
+        (length,) = _LENGTH.unpack(header)
+        payload = handle.read(length)
+        if len(payload) != length:
+            raise SpillError(
+                f"truncated spill record payload at offset {offset}"
+            )
+        return pickle.loads(payload)
+    except OSError as exc:
+        raise SpillError(f"spill read failed: {exc}") from exc
+
+
+def _iter_records(handle) -> Iterator[Any]:
+    handle.seek(0)
+    while True:
+        header = handle.read(_LENGTH.size)
+        if not header:
+            return
+        if len(header) != _LENGTH.size:
+            raise SpillError("truncated spill record header")
+        (length,) = _LENGTH.unpack(header)
+        payload = handle.read(length)
+        if len(payload) != length:
+            raise SpillError("truncated spill record payload")
+        yield pickle.loads(payload)
+
+
+def _open_spill_handle(spill_dir: str | None):
+    try:
+        fd, path = tempfile.mkstemp(
+            prefix="repro-spill-", suffix=".run", dir=spill_dir
+        )
+        return os.fdopen(fd, "w+b"), path
+    except OSError as exc:
+        raise SpillError(f"cannot create spill file: {exc}") from exc
+
+
+class SpillFile:
+    """An append-only record file with by-offset read-back.
+
+    Tracks ``records`` and ``bytes_written`` so callers can feed the
+    ``spill_runs``/``spilled_rows``/``spill_bytes`` counters without
+    re-deriving them.
+    """
+
+    def __init__(self, spill_dir: str | None = None):
+        self._handle, self.path = _open_spill_handle(spill_dir)
+        self.records = 0
+        self.bytes_written = 0
+        self._closed = False
+
+    def append(self, obj: Any) -> int:
+        """Write one record; returns its offset for later :meth:`read_at`."""
+        handle = self._handle
+        handle.seek(0, os.SEEK_END)
+        offset = handle.tell()
+        self.bytes_written += _write_record(handle, obj)
+        self.records += 1
+        return offset
+
+    def read_at(self, offset: int) -> Any:
+        return _read_record_at(self._handle, offset)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.close()
+        finally:
+            try:
+                os.unlink(self.path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SpillFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SpillRun:
+    """One sorted run of the external sort: written whole, read once."""
+
+    def __init__(self, rows: Sequence[Any], spill_dir: str | None = None):
+        self._handle, self.path = _open_spill_handle(spill_dir)
+        self.records = 0
+        self.bytes_written = 0
+        self._closed = False
+        try:
+            for row in rows:
+                self.bytes_written += _write_record(self._handle, row)
+                self.records += 1
+            self._handle.flush()
+        except BaseException:
+            self.close()
+            raise
+
+    def __iter__(self) -> Iterator[Any]:
+        return _iter_records(self._handle)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.close()
+        finally:
+            try:
+                os.unlink(self.path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+def merge_runs(
+    runs: Sequence[Iterable[Any]], key: Callable[[Any], Any]
+) -> Iterator[Any]:
+    """Stable k-way merge of pre-sorted runs in argument order.
+
+    With runs passed in creation order and the in-memory tail last, ties
+    on ``key`` come out in arrival order — exactly the order Python's
+    stable in-memory ``list.sort`` would have produced, which keeps
+    spilled sort partitioning byte-identical to the in-memory path.
+    """
+    return heapq.merge(*runs, key=key)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.algebra.expressions import avg, col, count, count_star, max_, min_, sum_
+from repro.errors import PlanError
 from repro.execution.aggregates import PHashAggregate, PStreamAggregate
 from repro.execution.base import PMaterialized, run_plan
 from repro.execution.basic import PSort
@@ -64,7 +65,7 @@ class TestStreamAggregate:
         assert sorted(run_plan(stream), key=repr) == sorted(run_plan(hashed), key=repr)
 
     def test_requires_keys(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlanError):
             PStreamAggregate(source(), (), (count_star("n"),))
 
     def test_empty_input(self):

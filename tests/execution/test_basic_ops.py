@@ -3,6 +3,7 @@
 import pytest
 
 from repro.algebra.expressions import col, eq, gt, lit
+from repro.errors import PlanError
 from repro.execution.base import PMaterialized, run_plan, run_plan_to_table
 from repro.execution.basic import (
     PAlias,
@@ -106,7 +107,7 @@ class TestUnionLimit:
         assert len(run_plan(plan)) == 8
 
     def test_union_all_requires_input(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlanError):
             PUnionAll([])
 
     def test_limit(self):

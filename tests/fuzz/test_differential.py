@@ -12,6 +12,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.errors import PlanError
 from repro.fuzz import (
     generate_case,
     load_corpus,
@@ -79,5 +80,5 @@ class TestProfiles:
             assert f"no-{rule.name}" in names
 
     def test_unknown_profile_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlanError):
             profile_configurations("nope")

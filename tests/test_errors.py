@@ -75,3 +75,66 @@ class TestFailuresSurfaceAsReproErrors:
     def test_cross_type_comparison(self, db):
         with pytest.raises(errors.ReproError):
             db.sql("select a from t where a > 'text'")
+
+
+class TestGovernanceErrors:
+    """The robustness additions: budget/cancel/spill/crash error types."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.QueryCancelled,
+            errors.BudgetExceeded,
+            errors.TimeoutExceeded,
+            errors.MemoryBudgetExceeded,
+            errors.RowBudgetExceeded,
+            errors.SpillError,
+            errors.WorkerCrashed,
+        ],
+    )
+    def test_derive_from_execution_error(self, exc):
+        assert issubclass(exc, errors.ExecutionError)
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.TimeoutExceeded,
+            errors.MemoryBudgetExceeded,
+            errors.RowBudgetExceeded,
+        ],
+    )
+    def test_budget_violations_share_a_catchall(self, exc):
+        assert issubclass(exc, errors.BudgetExceeded)
+
+    def test_worker_crashed_carries_progress(self):
+        assert errors.WorkerCrashed("x", consumed_batches=3).consumed_batches == 3
+
+
+class TestErrorContext:
+    def test_first_writer_wins(self):
+        error = errors.ExecutionError("boom")
+        error.add_context(sql="inner", plan_path="0.1")
+        error.add_context(sql="outer", plan_path="")
+        assert error.sql == "inner"
+        assert error.plan_path == "0.1"
+
+    def test_add_context_returns_self_for_raise_chaining(self):
+        error = errors.ExecutionError("boom")
+        assert error.add_context(sql="q") is error
+
+    def test_api_attaches_sql_text(self):
+        db = Database()
+        db.create_table("t", [("a", DataType.INTEGER)], [(1,)])
+        text = "select ghost from t"
+        with pytest.raises(errors.ReproError) as info:
+            db.sql(text)
+        assert info.value.sql == text
+
+    def test_api_attaches_sql_on_execution_errors(self):
+        db = Database()
+        db.create_table("t", [("a", DataType.INTEGER)], [(1,)])
+        text = "select a / 0 from t"
+        with pytest.raises(errors.ExecutionError) as info:
+            db.sql(text)
+        assert info.value.sql == text
