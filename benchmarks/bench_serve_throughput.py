@@ -1,0 +1,213 @@
+"""Concurrent service throughput: queries/sec and tail latency vs client
+concurrency, plus the cost of admission control itself.
+
+The :mod:`repro.serve` service puts admission control, snapshot pinning
+and per-query governors in front of every read. This suite measures what
+that buys and what it costs on the paper's Q1 workload:
+
+* **service overhead** — one client, service path vs calling
+  ``Database.sql`` directly: the price of admission + snapshot per query;
+* **concurrency scaling** — N client threads hammering the service;
+  throughput should hold (Python threads serialize CPU, so the point is
+  *no collapse* from lock contention, not speedup) and every result must
+  be correct;
+* **overload behavior** — more clients than slots with a tiny queue:
+  shed queries fail in microseconds with ``ServiceOverloaded`` instead of
+  queueing without bound; the shed rate and the p99 of *admitted* queries
+  are the numbers to watch (reported in the measurement's metrics dict).
+
+Run:  pytest benchmarks/bench_serve_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Database
+from repro.errors import ServiceOverloaded
+from repro.serve import Service, ServiceConfig
+from repro.workloads.queries import query_by_name
+
+QUERY = "Q1"
+
+#: Client thread counts for the scaling sweep.
+CONCURRENCIES = (1, 4, 8)
+
+#: Queries each client issues per measured run.
+OPS_PER_CLIENT = 4
+
+
+def _run_clients(
+    service: Service, sql: str, clients: int, ops: int
+) -> dict[str, float]:
+    """Drive ``clients`` threads x ``ops`` queries; return timing stats."""
+    latencies: list[float] = []
+    sheds = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def client():
+        mine: list[float] = []
+        my_sheds = 0
+        barrier.wait()
+        for _ in range(ops):
+            started = time.perf_counter()
+            try:
+                service.sql(sql)
+            except ServiceOverloaded:
+                my_sheds += 1
+                continue
+            mine.append(time.perf_counter() - started)
+        with lock:
+            latencies.extend(mine)
+            sheds[0] += my_sheds
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    completed = len(latencies)
+    p99 = latencies[min(completed - 1, int(completed * 0.99))] if completed else 0.0
+    return {
+        "elapsed": elapsed,
+        "completed": completed,
+        "shed": sheds[0],
+        "p99": p99,
+        "throughput": completed / elapsed if elapsed else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark suite
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(bench_catalog):
+    with Service(Database(bench_catalog)) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def expected_rows(bench_catalog):
+    return len(Database(bench_catalog).sql(query_by_name(QUERY).gapply_sql).rows)
+
+
+def test_direct_database_baseline(benchmark, bench_catalog, expected_rows):
+    db = Database(bench_catalog)
+    sql = query_by_name(QUERY).gapply_sql
+    rows = benchmark(lambda: len(db.sql(sql).rows))
+    assert rows == expected_rows
+
+
+def test_service_single_client(benchmark, service, expected_rows):
+    sql = query_by_name(QUERY).gapply_sql
+    rows = benchmark(lambda: len(service.sql(sql).rows))
+    assert rows == expected_rows
+
+
+@pytest.mark.parametrize("clients", CONCURRENCIES)
+def test_service_concurrent_clients(benchmark, service, clients):
+    sql = query_by_name(QUERY).gapply_sql
+    stats = benchmark.pedantic(
+        _run_clients,
+        args=(service, sql, clients, OPS_PER_CLIENT),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats["completed"] == clients * OPS_PER_CLIENT
+    assert stats["shed"] == 0  # default queue depth absorbs this load
+
+
+# ----------------------------------------------------------------------
+# Script mode (CI bench-smoke)
+# ----------------------------------------------------------------------
+
+
+def _script_cases(scale: float, repetitions: int):
+    from repro.bench.harness import Measurement
+    from repro.storage.catalog import Catalog
+    from repro.workloads.tpch import TpchConfig, load_tpch
+
+    catalog = Catalog()
+    load_tpch(catalog, TpchConfig(scale=scale))
+    sql = query_by_name(QUERY).gapply_sql
+    rows = len(Database(catalog).sql(sql).rows)
+
+    cases = []
+    for clients in CONCURRENCIES:
+        best: dict[str, float] | None = None
+        service = Service(Database(catalog))
+        try:
+            for _ in range(repetitions):
+                stats = _run_clients(service, sql, clients, OPS_PER_CLIENT)
+                if best is None or stats["elapsed"] < best["elapsed"]:
+                    best = stats
+        finally:
+            service.shutdown(drain_timeout=10.0)
+        cases.append(
+            (
+                f"{QUERY}-service-c{clients}",
+                Measurement(
+                    elapsed=best["elapsed"],
+                    work=int(best["completed"]),
+                    rows=rows,
+                    backend="service",
+                    parallelism=clients,
+                    metrics={
+                        "throughput_qps": round(best["throughput"], 2),
+                        "p99_seconds": round(best["p99"], 6),
+                        "shed": int(best["shed"]),
+                    },
+                ),
+            )
+        )
+
+    # Overload: 8 clients into 1 slot with a 1-deep queue — measures the
+    # shedding path. Time per *attempt* stays flat because shed queries
+    # fail fast instead of queueing without bound.
+    overload = Service(
+        Database(catalog),
+        config=ServiceConfig(max_concurrency=1, max_queue_depth=1),
+    )
+    try:
+        best = None
+        for _ in range(repetitions):
+            stats = _run_clients(overload, sql, 8, OPS_PER_CLIENT)
+            if best is None or stats["elapsed"] < best["elapsed"]:
+                best = stats
+        shed_rate = best["shed"] / (8 * OPS_PER_CLIENT)
+    finally:
+        overload.shutdown(drain_timeout=10.0)
+    cases.append(
+        (
+            f"{QUERY}-service-overload",
+            Measurement(
+                elapsed=best["elapsed"],
+                work=int(best["completed"]),
+                rows=rows,
+                backend="service-overload",
+                parallelism=8,
+                metrics={
+                    "throughput_qps": round(best["throughput"], 2),
+                    "p99_seconds": round(best["p99"], 6),
+                    "shed": int(best["shed"]),
+                    "shed_rate": round(shed_rate, 3),
+                },
+            ),
+        )
+    )
+    return cases
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("serve_throughput", _script_cases)

@@ -101,10 +101,30 @@ def _with_parallel_knobs(
 
 
 class Database:
-    """An in-memory database with GApply support end to end."""
+    """An in-memory database with GApply support end to end.
+
+    Thread-safety contract: reads (``sql``/``execute``/``plan``) are safe
+    to issue from any number of threads — per-query state (contexts,
+    counters, metrics registries, tracers, governors) is built fresh per
+    call. Concurrent *writes* racing reads on the same catalog need
+    snapshot isolation: route them through :class:`repro.serve.Service`,
+    or take :meth:`snapshot` yourself before reading while another thread
+    mutates.
+    """
 
     def __init__(self, catalog: Catalog | None = None):
         self.catalog = catalog or Catalog()
+
+    def snapshot(self) -> "Database":
+        """A read-only Database pinned to the catalog's current version.
+
+        Queries against the snapshot see a frozen, immutable state no
+        matter what concurrent writers do to this database afterwards
+        (copy-on-write versioning; see
+        :meth:`repro.storage.catalog.Catalog.snapshot`). DDL and inserts
+        on the snapshot raise :class:`~repro.errors.CatalogError`.
+        """
+        return Database(self.catalog.snapshot())
 
     # ------------------------------------------------------------------
     # DDL-ish
@@ -155,6 +175,7 @@ class Database:
         timeout: float | None = None,
         memory_budget: int | None = None,
         max_rows: int | None = None,
+        governor: Governor | None = None,
     ) -> QueryResult | Explanation:
         """Run SQL text end to end and materialize the result.
 
@@ -170,7 +191,9 @@ class Database:
         (``TimeoutExceeded``, ``MemoryBudgetExceeded``,
         ``RowBudgetExceeded``) carrying this SQL text; under a memory
         budget, GApply's partition phase spills to disk instead of
-        failing.
+        failing. Alternatively pass a prebuilt ``governor`` — e.g. the
+        query service's, whose clock already started ticking at
+        submission — which the budget knobs must not accompany.
 
         ``EXPLAIN [ANALYZE] <query>`` statements — or the equivalent
         ``explain=True`` / ``explain="analyze"`` keyword — return an
@@ -192,6 +215,7 @@ class Database:
             logical, optimize, planner_options, parallelism, backend,
             explain, collect_metrics, trace, sql_text=text,
             timeout=timeout, memory_budget=memory_budget, max_rows=max_rows,
+            governor=governor,
         )
 
     def execute(

@@ -117,7 +117,16 @@ class BudgetExceeded(ExecutionError):
 
 
 class TimeoutExceeded(BudgetExceeded):
-    """The query ran past its wall-clock budget (``timeout=`` seconds)."""
+    """The query ran past its wall-clock budget (``timeout=`` seconds).
+
+    When the query went through the admission queue of a
+    :class:`~repro.serve.Service`, ``queued_seconds`` and
+    ``executing_seconds`` break the elapsed time down so callers can tell
+    an overloaded service (all queue wait) from a genuinely slow query.
+    """
+
+    queued_seconds: float | None = None
+    executing_seconds: float | None = None
 
 
 class MemoryBudgetExceeded(BudgetExceeded):
@@ -146,6 +155,43 @@ class WorkerCrashed(ExecutionError):
     def __init__(self, message: str, consumed_batches: int = 0):
         self.consumed_batches = consumed_batches
         super().__init__(message)
+
+
+class ServiceError(ReproError):
+    """A failure in the concurrent query service layer (:mod:`repro.serve`)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service shed this query: every concurrency slot is busy and the
+    admission wait-queue is full.
+
+    This is the *retryable* load-shedding signal: ``queue_depth`` reports
+    how many queries were already waiting and ``suggested_backoff`` is the
+    seconds a well-behaved client should sleep before retrying (scaled
+    with queue pressure, deterministic so tests can assert on it).
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int = 0,
+        suggested_backoff: float = 0.0,
+    ):
+        self.queue_depth = queue_depth
+        self.suggested_backoff = suggested_backoff
+        super().__init__(message)
+
+
+class ServiceStopped(ServiceError):
+    """The service refused the request because it is draining or stopped.
+
+    Not retryable against the same service instance — clients should fail
+    over rather than back off.
+    """
+
+    retryable = False
 
 
 class XmlPublishError(ReproError):

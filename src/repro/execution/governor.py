@@ -114,6 +114,10 @@ class Governor:
         self.cells_in_use = 0
         self.peak_cells = 0
         self.output_rows = 0
+        #: Set by :meth:`mark_admitted` when a service admission queue sat
+        #: between construction and execution; lets timeout errors split
+        #: elapsed time into queued vs executing.
+        self.admitted_at: float | None = None
 
     # ------------------------------------------------------------------
     # Cancellation and wall clock
@@ -133,14 +137,48 @@ class Governor:
             return None
         return self.deadline - self.clock()
 
+    def mark_admitted(self) -> None:
+        """Record that queueing is over and execution starts now.
+
+        Service queries construct their governor at *submission* so queue
+        wait counts against the deadline; this stamps the transition so a
+        later :class:`TimeoutExceeded` can report how much of the budget
+        each phase consumed.
+        """
+        self.admitted_at = self.clock()
+
+    def timeout_error(self, while_queued: bool = False) -> TimeoutExceeded:
+        """Build the timeout error with the queued/executing breakdown."""
+        now = self.clock()
+        queued: float | None = None
+        executing: float | None = None
+        if while_queued:
+            queued, executing = now - self.started, 0.0
+        elif self.admitted_at is not None:
+            queued = self.admitted_at - self.started
+            executing = now - self.admitted_at
+        message = f"query exceeded its {self.budget.timeout:g}s timeout"
+        if while_queued:
+            message += (
+                f" after {queued:.3f}s in the admission queue, "
+                "before executing at all"
+            )
+        elif queued is not None:
+            message += (
+                f" (queued {queued:.3f}s, executing {executing:.3f}s)"
+            )
+        error = TimeoutExceeded(message)
+        error.queued_seconds = queued
+        error.executing_seconds = executing
+        error.add_context(sql=self.sql)
+        return error
+
     def check(self) -> None:
         """Raise the typed error for any tripped wall-clock/cancel state."""
         if self._cancelled.is_set():
             raise QueryCancelled(self._cancel_reason).add_context(sql=self.sql)
         if self.deadline is not None and self.clock() > self.deadline:
-            raise TimeoutExceeded(
-                f"query exceeded its {self.budget.timeout:g}s timeout"
-            ).add_context(sql=self.sql)
+            raise self.timeout_error()
 
     def tick(self, n: int = 1) -> None:
         """Stride-counted :meth:`check`; called per row by every operator."""

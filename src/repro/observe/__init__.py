@@ -25,10 +25,16 @@ path neither allocates nor touches any observe object (guarded by a
 tier-1 test).
 """
 
-from repro.observe.metrics import OperatorMetrics, MetricsRegistry, join_path
+from repro.observe.metrics import (
+    LockedCounters,
+    MetricsRegistry,
+    OperatorMetrics,
+    join_path,
+)
 from repro.observe.trace import Span, Tracer
 
 __all__ = [
+    "LockedCounters",
     "MetricsRegistry",
     "OperatorMetrics",
     "Span",

@@ -22,10 +22,22 @@ the EXPLAIN ANALYZE renderer asks for time explicitly.
 Nothing in this module is imported on the executor's default path: the
 base :class:`~repro.execution.base.PhysicalOperator` only calls in here
 when a registry is attached to the execution context.
+
+**Concurrency.** Registries and tracers are *per-query* objects — the
+:class:`~repro.api.Database` facade builds a fresh one per execution, so
+two threads sharing a Database never share a registry's hot path. The
+structural mutations that *can* race (ad-hoc self-registration via
+:meth:`MetricsRegistry.record_for`, worker-snapshot merging) are guarded
+by a lock; the per-``next()`` counter updates stay lock-free because only
+the single thread driving a plan touches them (parallel workers count
+into their own fresh registries and ship snapshots home). For state that
+genuinely is shared across queries — service health counters, test
+probes — use :class:`LockedCounters`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
@@ -125,6 +137,10 @@ class MetricsRegistry:
         self._by_id: dict[int, OperatorMetrics] = {}
         self._by_path: dict[str, OperatorMetrics] = {}
         self._unregistered = 0
+        #: Guards structural mutation (registration, snapshot merging).
+        #: Counter increments on existing records are intentionally
+        #: lock-free: one registry belongs to one query's driving thread.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -139,13 +155,14 @@ class MetricsRegistry:
     def _record_at(
         self, path: str, label: str, node: "PhysicalOperator | None" = None
     ) -> OperatorMetrics:
-        record = self._by_path.get(path)
-        if record is None:
-            record = OperatorMetrics(path, label)
-            self._by_path[path] = record
-        if node is not None:
-            self._by_id[id(node)] = record
-        return record
+        with self._lock:
+            record = self._by_path.get(path)
+            if record is None:
+                record = OperatorMetrics(path, label)
+                self._by_path[path] = record
+            if node is not None:
+                self._by_id[id(node)] = record
+            return record
 
     def record_for(self, op: "PhysicalOperator") -> OperatorMetrics:
         """The record for ``op``; unknown plans self-register on first use
@@ -153,8 +170,9 @@ class MetricsRegistry:
         paths that cannot collide with a registered tree)."""
         record = self._by_id.get(id(op))
         if record is None:
-            prefix = f"?{self._unregistered}"
-            self._unregistered += 1
+            with self._lock:
+                self._unregistered += 1
+                prefix = f"?{self._unregistered - 1}"
             self.register_plan(op, prefix)
             record = self._by_id[id(op)]
         return record
@@ -268,3 +286,46 @@ class MetricsRegistry:
                 for record in self.records()
             ]
         }
+
+
+class LockedCounters:
+    """Named integer counters safe to bump from any number of threads.
+
+    The building block for state genuinely shared across concurrent
+    queries — the query service's health/stats snapshot
+    (:meth:`repro.serve.Service.stats`) is built on one. ``snapshot``
+    returns a point-in-time copy taken under the lock, so a reader never
+    sees a torn multi-counter update made through :meth:`add_many`.
+    """
+
+    def __init__(self, **initial: int):
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = dict(initial)
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` (may be negative); returns the new value."""
+        with self._lock:
+            value = self._values.get(name, 0) + amount
+            self._values[name] = value
+            return value
+
+    def add_many(self, **amounts: int) -> None:
+        """Apply several increments as one atomic update."""
+        with self._lock:
+            for name, amount in amounts.items():
+                self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def max_of(self, name: str, candidate: int) -> int:
+        """Raise ``name`` to ``candidate`` if larger (peak tracking)."""
+        with self._lock:
+            value = max(self._values.get(name, 0), candidate)
+            self._values[name] = value
+            return value
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._values)

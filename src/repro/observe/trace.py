@@ -23,6 +23,7 @@ pathological plans; the ``dropped`` count reports what the cap cost.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -67,6 +68,12 @@ class Tracer:
     ``begin`` returns the span id; ``end`` closes it (and pops it off the
     parent stack if it is the innermost open span). Spans beyond
     ``max_spans`` are counted as dropped rather than recorded.
+
+    A tracer belongs to one query, but its span list and parent stack are
+    mutated under a lock anyway: recording a span is already an
+    allocation, so the lock costs little, and it makes the tracer safe if
+    spans ever arrive from a helper thread (thread-backend GApply workers
+    share the parent's context objects).
     """
 
     def __init__(
@@ -80,29 +87,32 @@ class Tracer:
         self.dropped = 0
         self._open: list[int] = []
         self._next_id = 0
+        self._lock = threading.Lock()
 
     def begin(self, kind: str, name: str, **attrs: Any) -> int:
-        span_id = self._next_id
-        self._next_id += 1
-        if len(self.spans) >= self.max_spans:
-            self.dropped += 1
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                return span_id
+            parent = self._open[-1] if self._open else None
+            self.spans.append(
+                Span(span_id, parent, kind, name, self.clock(), attrs=attrs)
+            )
+            self._open.append(span_id)
             return span_id
-        parent = self._open[-1] if self._open else None
-        self.spans.append(
-            Span(span_id, parent, kind, name, self.clock(), attrs=attrs)
-        )
-        self._open.append(span_id)
-        return span_id
 
     def end(self, span_id: int, **attrs: Any) -> None:
-        if self._open and self._open[-1] == span_id:
-            self._open.pop()
-        for span in reversed(self.spans):
-            if span.span_id == span_id:
-                span.end_ns = self.clock()
-                span.attrs.update(attrs)
-                return
-        # A dropped span: nothing recorded to close.
+        with self._lock:
+            if self._open and self._open[-1] == span_id:
+                self._open.pop()
+            for span in reversed(self.spans):
+                if span.span_id == span_id:
+                    span.end_ns = self.clock()
+                    span.attrs.update(attrs)
+                    return
+            # A dropped span: nothing recorded to close.
 
     def to_json(self) -> dict:
         return {

@@ -9,12 +9,30 @@ tables themselves:
   a foreign-key join", and the optimizer asks the catalog whether an equijoin
   column pair is a declared key/foreign-key pair;
 * **statistics** — computed lazily, invalidated explicitly.
+
+**Concurrency and snapshots.** A catalog is shared by every query on a
+:class:`~repro.api.Database`, so its structure is versioned and guarded:
+
+* every structural mutation (register/drop/FK) happens under one
+  re-entrant ``mutation_lock`` and bumps a monotonically increasing
+  ``version``;
+* :meth:`snapshot` pins the current version as an immutable
+  :class:`CatalogSnapshot` — the table objects are *frozen* (in-place
+  mutation raises) and the snapshot refuses DDL, so a query planned and
+  executed against it can never observe a torn catalog or half-applied
+  write, no matter what concurrent writers do;
+* writers use the copy-on-write helpers (:meth:`insert_rows`,
+  :meth:`replace_table`) which validate fully, clone the frozen version,
+  and swap the new version in atomically under the lock. Readers never
+  block on writers and writers never block on readers; writers serialize
+  only against each other.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import CatalogError, ConstraintError
 from repro.storage.statistics import TableStatistics, compute_table_statistics
@@ -46,6 +64,15 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._foreign_keys: list[ForeignKey] = []
         self._statistics: dict[str, TableStatistics] = {}
+        #: Serializes structural mutation and copy-on-write swaps.
+        #: Re-entrant so a write helper can call ``table()`` internally.
+        self.mutation_lock = threading.RLock()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every structural change."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Table management
@@ -53,23 +80,28 @@ class Catalog:
 
     def register(self, table: Table, replace: bool = False) -> Table:
         key = table.name.lower()
-        if key in self._tables and not replace:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[key] = table
-        self._statistics.pop(key, None)
+        with self.mutation_lock:
+            if key in self._tables and not replace:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[key] = table
+            self._statistics.pop(key, None)
+            self._version += 1
         return table
 
     def drop(self, name: str) -> None:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._tables[key]
-        self._statistics.pop(key, None)
-        self._foreign_keys = [
-            fk
-            for fk in self._foreign_keys
-            if fk.child_table.lower() != key and fk.parent_table.lower() != key
-        ]
+        with self.mutation_lock:
+            if key not in self._tables:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._tables[key]
+            self._statistics.pop(key, None)
+            self._foreign_keys = [
+                fk
+                for fk in self._foreign_keys
+                if fk.child_table.lower() != key
+                and fk.parent_table.lower() != key
+            ]
+            self._version += 1
 
     def table(self, name: str) -> Table:
         key = name.lower()
@@ -92,6 +124,65 @@ class Catalog:
         return iter(self._tables.values())
 
     # ------------------------------------------------------------------
+    # Snapshots and copy-on-write writes
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "CatalogSnapshot":
+        """Pin the current version: an immutable catalog view.
+
+        Freezes every current table version (cheap — a flag per table;
+        writers copy-on-write from then on) and copies the name → table
+        map, FK list, and statistics cache, so later DDL/DML on this
+        catalog is invisible to the snapshot and vice versa.
+        """
+        with self.mutation_lock:
+            for table in self._tables.values():
+                table.freeze()
+            return CatalogSnapshot(
+                tables=dict(self._tables),
+                foreign_keys=list(self._foreign_keys),
+                statistics=dict(self._statistics),
+                version=self._version,
+            )
+
+    def insert_rows(
+        self, table_name: str, rows: Iterable[Sequence[Any]]
+    ) -> int:
+        """Atomically append ``rows`` to a table, copy-on-write.
+
+        Every row is validated *before* any state changes, so a width or
+        type error inserts nothing; if the current version is frozen (a
+        snapshot pinned it), a clone receives the rows and is swapped in
+        under the mutation lock — concurrent snapshot readers keep seeing
+        the old version, never a partially extended row list.
+        """
+        with self.mutation_lock:
+            current = self.table(table_name)
+            validated = [current.validate_row(row) for row in rows]
+            target = current.clone() if current.frozen else current
+            target.rows.extend(validated)
+            target._invalidate_indexes()
+            if target is not current:
+                self._tables[current.name.lower()] = target
+            self._statistics.pop(current.name.lower(), None)
+            self._version += 1
+            return len(validated)
+
+    def replace_table(self, table: Table) -> Table:
+        """Swap in a new version of an existing table (schema-compatible
+        replacement built off :meth:`Table.clone`)."""
+        key = table.name.lower()
+        with self.mutation_lock:
+            if key not in self._tables:
+                raise CatalogError(
+                    f"cannot replace unknown table {table.name!r}"
+                )
+            self._tables[key] = table
+            self._statistics.pop(key, None)
+            self._version += 1
+        return table
+
+    # ------------------------------------------------------------------
     # Constraints
     # ------------------------------------------------------------------
 
@@ -103,16 +194,19 @@ class Catalog:
         parent_columns: Sequence[str],
     ) -> ForeignKey:
         """Declare a foreign key; tables and columns must already exist."""
-        child = self.table(child_table)
-        parent = self.table(parent_table)
-        for col in child_columns:
-            child.schema.index_of(col)
-        for col in parent_columns:
-            parent.schema.index_of(col)
-        fk = ForeignKey(
-            child.name, tuple(child_columns), parent.name, tuple(parent_columns)
-        )
-        self._foreign_keys.append(fk)
+        with self.mutation_lock:
+            child = self.table(child_table)
+            parent = self.table(parent_table)
+            for col in child_columns:
+                child.schema.index_of(col)
+            for col in parent_columns:
+                parent.schema.index_of(col)
+            fk = ForeignKey(
+                child.name, tuple(child_columns),
+                parent.name, tuple(parent_columns),
+            )
+            self._foreign_keys.append(fk)
+            self._version += 1
         return fk
 
     def foreign_keys(self) -> tuple[ForeignKey, ...]:
@@ -181,7 +275,12 @@ class Catalog:
     # ------------------------------------------------------------------
 
     def statistics(self, name: str) -> TableStatistics:
-        """Statistics for a table, computed on first use and cached."""
+        """Statistics for a table, computed on first use and cached.
+
+        Computation happens outside the mutation lock (it scans the
+        table), so two racing readers may both compute; the redundant
+        result is identical and the last store wins.
+        """
         key = name.lower()
         stats = self._statistics.get(key)
         if stats is None:
@@ -194,3 +293,47 @@ class Catalog:
             self._statistics.clear()
         else:
             self._statistics.pop(name.lower(), None)
+
+
+class CatalogSnapshot(Catalog):
+    """A read-only catalog pinned at one version.
+
+    Shares the (frozen) table objects with the live catalog at snapshot
+    time; structural mutation raises :class:`CatalogError`. Statistics
+    still compute lazily into the snapshot's own cache — a snapshot's
+    tables never change, so its cached statistics never go stale.
+    """
+
+    def __init__(
+        self,
+        tables: dict[str, Table],
+        foreign_keys: list[ForeignKey],
+        statistics: dict[str, TableStatistics],
+        version: int,
+    ):
+        super().__init__()
+        self._tables = tables
+        self._foreign_keys = foreign_keys
+        self._statistics = statistics
+        self._version = version
+
+    def _read_only(self, action: str) -> CatalogError:
+        return CatalogError(
+            f"cannot {action}: this catalog is a read-only snapshot "
+            f"(version {self._version}); apply writes to the live catalog"
+        )
+
+    def register(self, table: Table, replace: bool = False) -> Table:
+        raise self._read_only(f"register table {table.name!r}")
+
+    def drop(self, name: str) -> None:
+        raise self._read_only(f"drop table {name!r}")
+
+    def add_foreign_key(self, *args, **kwargs) -> ForeignKey:
+        raise self._read_only("add a foreign key")
+
+    def insert_rows(self, table_name: str, rows) -> int:
+        raise self._read_only(f"insert into table {table_name!r}")
+
+    def replace_table(self, table: Table) -> Table:
+        raise self._read_only(f"replace table {table.name!r}")

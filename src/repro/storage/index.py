@@ -10,17 +10,31 @@ provides:
 * **ordered access** on single comparable columns (range seeks), via a
   sorted key array and binary search.
 
-Indexes are rebuilt lazily after table mutations.
+Indexes are rebuilt lazily after table mutations. The built structures
+are published **atomically** as one state tuple: concurrent readers — two
+snapshot queries sharing a frozen table version is the common case — each
+pick up either a complete build or trigger their own, never a
+half-assigned mix of buckets from one build and sorted arrays from
+another.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, NamedTuple, Sequence
 
 from repro.errors import SchemaError
 from repro.storage.table import Row, Table
 from repro.storage.types import grouping_key
+
+
+class _IndexState(NamedTuple):
+    """One complete build, published in a single attribute store."""
+
+    buckets: dict[tuple, list[Row]]
+    sorted_keys: list | None
+    sorted_rows: list[Row] | None
+    row_count: int
 
 
 class TableIndex:
@@ -32,10 +46,7 @@ class TableIndex:
         self.table = table
         self.columns = tuple(columns)
         self._positions = table.schema.indices_of(columns)
-        self._buckets: dict[tuple, list[Row]] | None = None
-        self._sorted_keys: list | None = None
-        self._sorted_rows: list[Row] | None = None
-        self._built_row_count = -1
+        self._state: _IndexState | None = None
 
     # ------------------------------------------------------------------
     # Build / invalidate
@@ -46,40 +57,43 @@ class TableIndex:
         return len(self.columns) == 1
 
     def invalidate(self) -> None:
-        self._buckets = None
-        self._sorted_keys = None
-        self._sorted_rows = None
-        self._built_row_count = -1
+        self._state = None
 
-    def _ensure_built(self) -> None:
-        if (
-            self._buckets is not None
-            and self._built_row_count == len(self.table.rows)
-        ):
-            return
+    def _ensure_built(self) -> _IndexState:
+        """The current complete state, building it if stale.
+
+        Everything is computed into locals and installed with one
+        assignment, so a reader racing a rebuild sees the old complete
+        state or the new complete state — worst case two threads build
+        redundantly, and the last store wins with an equivalent result.
+        """
+        rows = self.table.rows
+        state = self._state
+        if state is not None and state.row_count == len(rows):
+            return state
         buckets: dict[tuple, list[Row]] = {}
-        for row in self.table.rows:
+        for row in rows:
             values = tuple(row[i] for i in self._positions)
             if any(v is None for v in values):
                 continue  # NULL keys are never matched by = or ranges
             buckets.setdefault(grouping_key(values), []).append(row)
-        self._buckets = buckets
-        self._built_row_count = len(self.table.rows)
+        sorted_keys: list | None = None
+        sorted_rows: list[Row] | None = None
         if self.is_single_column:
             position = self._positions[0]
             pairs = sorted(
                 (
                     (grouping_key((row[position],))[0], row)
-                    for row in self.table.rows
+                    for row in rows
                     if row[position] is not None
                 ),
                 key=lambda pair: pair[0],
             )
-            self._sorted_keys = [key for key, _ in pairs]
-            self._sorted_rows = [row for _, row in pairs]
-        else:
-            self._sorted_keys = None
-            self._sorted_rows = None
+            sorted_keys = [key for key, _ in pairs]
+            sorted_rows = [row for _, row in pairs]
+        state = _IndexState(buckets, sorted_keys, sorted_rows, len(rows))
+        self._state = state
+        return state
 
     # ------------------------------------------------------------------
     # Access paths
@@ -90,9 +104,8 @@ class TableIndex:
         NULL matches nothing)."""
         if any(v is None for v in values):
             return []
-        self._ensure_built()
-        assert self._buckets is not None
-        return self._buckets.get(grouping_key(tuple(values)), [])
+        state = self._ensure_built()
+        return state.buckets.get(grouping_key(tuple(values)), [])
 
     def range_scan(
         self,
@@ -106,9 +119,9 @@ class TableIndex:
             raise SchemaError(
                 f"range scan requires a single-column index, have {self.columns}"
             )
-        self._ensure_built()
-        assert self._sorted_keys is not None and self._sorted_rows is not None
-        keys = self._sorted_keys
+        state = self._ensure_built()
+        assert state.sorted_keys is not None and state.sorted_rows is not None
+        keys = state.sorted_keys
         start = 0
         if low is not None:
             start = (
@@ -124,12 +137,10 @@ class TableIndex:
                 else bisect.bisect_left(keys, high)
             )
         for index in range(start, end):
-            yield self._sorted_rows[index]
+            yield state.sorted_rows[index]
 
     def distinct_key_count(self) -> int:
-        self._ensure_built()
-        assert self._buckets is not None
-        return len(self._buckets)
+        return len(self._ensure_built().buckets)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TableIndex({self.table.name}.{','.join(self.columns)})"

@@ -8,8 +8,9 @@ a per-key directory) in memory.
 
 **Row codec.** A spill file is a flat sequence of framed records::
 
-    record   := length payload
+    record   := length checksum payload
     length   := 4-byte big-endian unsigned int, len(payload)
+    checksum := 4-byte big-endian unsigned int, zlib.crc32(payload)
     payload  := pickle.dumps(obj, protocol=4)
 
 where ``obj`` is a plain row tuple (hash-partition spill) or a row tuple
@@ -17,7 +18,10 @@ in a sorted run (sort-partition spill). Pickle round-trips every value
 type the engine stores (int/float/str/bytes/bool/None) exactly, which is
 what makes spilled execution *byte-identical* to in-memory execution —
 the acceptance bar the spill tests enforce. The 4-byte frame caps one
-record at 4 GiB, far beyond any row this engine buffers.
+record at 4 GiB, far beyond any row this engine buffers. Every read-back
+verifies the CRC before unpickling, so a corrupted or overwritten temp
+file surfaces as a typed :class:`~repro.errors.SpillError` — never as
+silently wrong rows, and never as pickle interpreting garbage.
 
 Two access patterns, two classes:
 
@@ -39,7 +43,10 @@ can fail the Nth spill write and assert the typed
 Files are created with ``tempfile`` in ``spill_dir`` (default: the
 system temp dir), unlinked on :meth:`close`; the partition generators
 close their spill state in ``finally`` blocks, so abandoning a query
-mid-stream still reclaims the disk.
+mid-stream still reclaims the disk. Every live spill path is tracked in
+a process-wide registry (:func:`live_spill_files`) so shutdown and chaos
+tests can assert that no code path — error, cancellation, worker crash —
+leaks a temp file.
 """
 
 from __future__ import annotations
@@ -49,12 +56,41 @@ import os
 import pickle
 import struct
 import tempfile
+import threading
+import zlib
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SpillError
 
-_LENGTH = struct.Struct(">I")
+_HEADER = struct.Struct(">II")  # (payload length, crc32 of payload)
 PICKLE_PROTOCOL = 4
+
+#: Paths of spill files created but not yet closed, for leak detection.
+#: Guarded by its own lock: spill files are created and closed from
+#: arbitrary query threads.
+_live_lock = threading.Lock()
+_live_paths: set[str] = set()
+
+
+def live_spill_files() -> frozenset[str]:
+    """Spill temp files currently open anywhere in this process.
+
+    The cleanup invariant the service and chaos suites assert: after a
+    query ends — success, typed error, cancellation, or crash-degraded
+    retry — this set is empty again.
+    """
+    with _live_lock:
+        return frozenset(_live_paths)
+
+
+def _track(path: str) -> None:
+    with _live_lock:
+        _live_paths.add(path)
+
+
+def _untrack(path: str) -> None:
+    with _live_lock:
+        _live_paths.discard(path)
 
 
 def _write_record(handle, obj: Any) -> int:
@@ -70,28 +106,37 @@ def _write_record(handle, obj: Any) -> int:
     check_spill_write()
     try:
         payload = pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
-        handle.write(_LENGTH.pack(len(payload)))
+        handle.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
         handle.write(payload)
     except (OSError, pickle.PicklingError) as exc:
         raise SpillError(f"spill write failed: {exc}") from exc
-    return _LENGTH.size + len(payload)
+    return _HEADER.size + len(payload)
+
+
+def _decode_payload(payload: bytes, checksum: int, where: str) -> Any:
+    if zlib.crc32(payload) != checksum:
+        raise SpillError(
+            f"spill record checksum mismatch {where}: the spill file was "
+            "corrupted or concurrently overwritten"
+        )
+    return pickle.loads(payload)
 
 
 def _read_record_at(handle, offset: int) -> Any:
     try:
         handle.seek(offset)
-        header = handle.read(_LENGTH.size)
-        if len(header) != _LENGTH.size:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
             raise SpillError(
                 f"truncated spill record header at offset {offset}"
             )
-        (length,) = _LENGTH.unpack(header)
+        length, checksum = _HEADER.unpack(header)
         payload = handle.read(length)
         if len(payload) != length:
             raise SpillError(
                 f"truncated spill record payload at offset {offset}"
             )
-        return pickle.loads(payload)
+        return _decode_payload(payload, checksum, f"at offset {offset}")
     except OSError as exc:
         raise SpillError(f"spill read failed: {exc}") from exc
 
@@ -99,16 +144,16 @@ def _read_record_at(handle, offset: int) -> Any:
 def _iter_records(handle) -> Iterator[Any]:
     handle.seek(0)
     while True:
-        header = handle.read(_LENGTH.size)
+        header = handle.read(_HEADER.size)
         if not header:
             return
-        if len(header) != _LENGTH.size:
+        if len(header) != _HEADER.size:
             raise SpillError("truncated spill record header")
-        (length,) = _LENGTH.unpack(header)
+        length, checksum = _HEADER.unpack(header)
         payload = handle.read(length)
         if len(payload) != length:
             raise SpillError("truncated spill record payload")
-        yield pickle.loads(payload)
+        yield _decode_payload(payload, checksum, "in sequential read")
 
 
 def _open_spill_handle(spill_dir: str | None):
@@ -116,9 +161,11 @@ def _open_spill_handle(spill_dir: str | None):
         fd, path = tempfile.mkstemp(
             prefix="repro-spill-", suffix=".run", dir=spill_dir
         )
-        return os.fdopen(fd, "w+b"), path
+        handle = os.fdopen(fd, "w+b")
     except OSError as exc:
         raise SpillError(f"cannot create spill file: {exc}") from exc
+    _track(path)
+    return handle, path
 
 
 class SpillFile:
@@ -154,6 +201,7 @@ class SpillFile:
         try:
             self._handle.close()
         finally:
+            _untrack(self.path)
             try:
                 os.unlink(self.path)
             except OSError:  # pragma: no cover - already gone
@@ -164,6 +212,10 @@ class SpillFile:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop only
+        if not getattr(self, "_closed", True):
+            self.close()
 
 
 class SpillRun:
@@ -193,10 +245,15 @@ class SpillRun:
         try:
             self._handle.close()
         finally:
+            _untrack(self.path)
             try:
                 os.unlink(self.path)
             except OSError:  # pragma: no cover - already gone
                 pass
+
+    def __del__(self):  # pragma: no cover - GC backstop only
+        if not getattr(self, "_closed", True):
+            self.close()
 
 
 def merge_runs(

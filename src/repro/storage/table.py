@@ -8,6 +8,14 @@ definition unions per-group results with UNION ALL.
 Tables double as the temporary relations that GApply binds to its
 relation-valued ``$group`` parameter — the executor builds a small
 ``Table`` per group and the per-group plan's ``GroupScan`` leaf reads it.
+
+**Versioning.** Tables are the unit of copy-on-write versioning behind
+snapshot-isolated reads (:meth:`~repro.storage.catalog.Catalog.snapshot`):
+:meth:`freeze` marks a table immutable — any further in-place mutation
+raises — and :meth:`clone` produces the next writable version sharing the
+schema and the (immutable) row tuples but owning a fresh row list and
+fresh, lazily built indexes. A reader holding a frozen version can iterate
+``rows`` without any lock while writers build and swap in new versions.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ Row = tuple[Any, ...]
 class Table:
     """A named multiset of rows conforming to a :class:`Schema`."""
 
-    __slots__ = ("name", "schema", "rows", "primary_key", "indexes")
+    __slots__ = ("name", "schema", "rows", "primary_key", "indexes", "frozen")
 
     def __init__(
         self,
@@ -42,6 +50,7 @@ class Table:
             for col in self.primary_key:
                 schema.index_of(col)  # validates
         self.indexes: dict[tuple[str, ...], Any] = {}
+        self.frozen = False
         self.rows: list[Row] = []
         for row in rows:
             self.insert(row)
@@ -78,21 +87,58 @@ class Table:
             index.invalidate()
 
     # ------------------------------------------------------------------
+    # Versioning (copy-on-write snapshots)
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> "Table":
+        """Mark this version immutable; in-place mutation now raises.
+
+        Called when the catalog hands the table out in a snapshot: readers
+        may iterate ``rows`` lock-free forever after, so writers must go
+        through :meth:`clone` and swap in the new version atomically.
+        """
+        self.frozen = True
+        return self
+
+    def clone(self) -> "Table":
+        """The next writable version: shared schema and row *tuples*, but
+        a fresh row list and fresh (unbuilt) indexes on the same column
+        sets."""
+        twin = Table(self.name, self.schema, primary_key=self.primary_key)
+        twin.rows = list(self.rows)
+        for columns in self.indexes:
+            twin.create_index(columns)
+        return twin
+
+    def _check_writable(self) -> None:
+        if self.frozen:
+            raise ConstraintError(
+                f"table {self.name!r} is a frozen snapshot version; "
+                "writers must clone() and swap in a new version"
+            )
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
-    def insert(self, row: Sequence[Any]) -> None:
-        """Append one row after width/type validation."""
+    def validate_row(self, row: Sequence[Any]) -> Row:
+        """Width/type-check one row into the stored tuple form (without
+        inserting it — the atomic write path validates a whole batch
+        before touching any row list)."""
         if len(row) != len(self.schema):
             raise SchemaError(
                 f"row width {len(row)} does not match schema width "
                 f"{len(self.schema)} for table {self.name!r}"
             )
-        validated = tuple(
+        return tuple(
             check_value(value, column.dtype)
             for value, column in zip(row, self.schema)
         )
-        self.rows.append(validated)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append one row after width/type validation."""
+        self._check_writable()
+        self.rows.append(self.validate_row(row))
         self._invalidate_indexes()
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -103,6 +149,7 @@ class Table:
         return count
 
     def clear(self) -> None:
+        self._check_writable()
         self.rows.clear()
         self._invalidate_indexes()
 

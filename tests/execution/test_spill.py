@@ -39,9 +39,9 @@ class TestCodec:
         with SpillFile(str(tmp_path)) as spill:
             offsets = [spill.append(row) for row in rows]
             assert spill.records == len(rows)
-            # frame = 4-byte length + pickled payload, nothing else
+            # frame = 4-byte length + 4-byte crc32 + pickled payload
             assert spill.bytes_written == sum(
-                4 + len(pickle.dumps(r, protocol=4)) for r in rows
+                8 + len(pickle.dumps(r, protocol=4)) for r in rows
             )
             # read-back in arbitrary order, repeatedly
             for offset, row in reversed(list(zip(offsets, rows))):
@@ -139,3 +139,81 @@ class TestSpillObservability:
         )
         assert result.metrics.total("spilled_rows") == 0
         assert result.metrics.total("spill_runs") == 0
+
+
+class TestSpillHygiene:
+    """Checksummed records and leak-free error/cancel paths."""
+
+    def test_corrupted_payload_raises_typed_checksum_error(self, tmp_path):
+        spill = SpillFile(str(tmp_path))
+        try:
+            offset = spill.append(("intact", 1))
+            spill.append(("second", 2))
+            # Flip one payload byte on disk behind the codec's back.
+            with open(spill.path, "r+b") as handle:
+                handle.seek(offset + 8)  # past the length+crc32 header
+                byte = handle.read(1)
+                handle.seek(offset + 8)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+            with pytest.raises(SpillError, match="checksum mismatch"):
+                spill.read_at(offset)
+        finally:
+            spill.close()
+
+    def test_corrupted_run_iteration_is_typed(self, tmp_path):
+        run = SpillRun([(i, i) for i in range(10)], str(tmp_path))
+        try:
+            with open(run.path, "r+b") as handle:
+                handle.seek(12)  # inside the first record's payload
+                handle.write(b"\xde\xad")
+            with pytest.raises(SpillError, match="checksum mismatch"):
+                list(run)
+        finally:
+            run.close()
+
+    def test_live_file_registry_tracks_open_and_close(self, tmp_path):
+        from repro.storage.spill import live_spill_files
+
+        before = live_spill_files()
+        spill = SpillFile(str(tmp_path))
+        spill.append((1,))
+        assert spill.path in live_spill_files() - before
+        spill.close()
+        assert spill.path not in live_spill_files()
+
+    def test_injected_spill_failure_leaks_nothing(self, tpch_db, tmp_path):
+        from repro.storage.spill import live_spill_files
+
+        before = live_spill_files()
+        options = PlannerOptions(
+            gapply_spill_threshold=SPILL_THRESHOLD,
+            gapply_spill_dir=str(tmp_path),
+        )
+        sql = PAPER_QUERIES[0].gapply_sql
+        with fault_injection(FaultPlan(seed=3, fail_spill_at=0)):
+            with pytest.raises(SpillError):
+                tpch_db.sql(sql, optimize=False, planner_options=options)
+        assert list(tmp_path.iterdir()) == []
+        assert live_spill_files() == before
+
+    def test_cancelled_spilling_query_leaks_nothing(self, tpch_db, tmp_path):
+        from repro.errors import QueryCancelled
+        from repro.execution.governor import Governor
+        from repro.storage.spill import live_spill_files
+
+        before = live_spill_files()
+        governor = Governor()
+        governor.cancel("client disconnected")
+        options = PlannerOptions(
+            gapply_spill_threshold=SPILL_THRESHOLD,
+            gapply_spill_dir=str(tmp_path),
+        )
+        with pytest.raises(QueryCancelled):
+            tpch_db.sql(
+                PAPER_QUERIES[0].gapply_sql,
+                optimize=False,
+                governor=governor,
+                planner_options=options,
+            )
+        assert list(tmp_path.iterdir()) == []
+        assert live_spill_files() == before
