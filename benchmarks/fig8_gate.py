@@ -1,0 +1,222 @@
+"""CI bench gate: vector-over-Volcano speedups vs checked-in baselines.
+
+Reads the measurement JSON emitted by::
+
+    python benchmarks/bench_fig8_speedup.py --smoke --repetitions 3 --out fig8.json
+
+pairs every ``vector/<case>`` with its ``volcano/<case>`` twin, and
+checks three things against ``benchmarks/baselines.json``:
+
+1. **Engine equivalence** — the deterministic ``work`` counter must be
+   bit-identical between the two engines for every case. This is the
+   vector engine's core contract and has zero measurement noise, so any
+   difference is a hard failure regardless of tolerance.
+2. **Speedup regressions** — the elapsed-time speedup
+   ``volcano/vector`` must not fall more than ``--tolerance`` (default
+   25%) below the checked-in baseline speedup. Cases whose baseline
+   speedup sits below ``--noise-floor`` (default 1.2x) are skipped:
+   sub-millisecond timings at smoke scale cannot distinguish 1.0x from
+   1.2x reliably, and gating on them would make CI flaky.
+3. **Work drift** — ``work`` is deterministic for a given scale, so a
+   change means the planner produced a different plan. Drift beyond the
+   tolerance fails; smaller drift is reported in the comparison document
+   but allowed (plan-shape PRs refresh baselines explicitly).
+
+``--update-baselines`` rewrites the baselines file from the current
+measurements instead of checking (run it locally after an intentional
+perf or plan change, and commit the result). ``--out`` writes the full
+comparison document, which CI uploads as an artifact so a red gate shows
+per-case numbers without re-running anything.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINES = Path(__file__).resolve().parent / "baselines.json"
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_NOISE_FLOOR = 1.2
+
+VOLCANO_PREFIX = "volcano/"
+VECTOR_PREFIX = "vector/"
+
+
+def pair_cases(measurements: list[dict]) -> dict[str, dict]:
+    """``{case: {"speedup": float, "work": int, ...}}`` from engine pairs."""
+    by_name = {m["name"]: m for m in measurements}
+    cases: dict[str, dict] = {}
+    for name, volcano in by_name.items():
+        if not name.startswith(VOLCANO_PREFIX):
+            continue
+        case = name[len(VOLCANO_PREFIX):]
+        vector = by_name.get(VECTOR_PREFIX + case)
+        if vector is None:
+            continue
+        speedup = (
+            volcano["elapsed"] / vector["elapsed"]
+            if vector["elapsed"] > 0
+            else float("inf")
+        )
+        cases[case] = {
+            "speedup": round(speedup, 3),
+            "work": volcano["work"],
+            "vector_work": vector["work"],
+            "volcano_elapsed": volcano["elapsed"],
+            "vector_elapsed": vector["elapsed"],
+            "rows": volcano["rows"],
+        }
+    return cases
+
+
+def check(
+    cases: dict[str, dict],
+    baselines: dict,
+    tolerance: float,
+    noise_floor: float,
+) -> tuple[list[dict], list[str]]:
+    """Compare measured cases to baselines; (per-case records, failures)."""
+    failures: list[str] = []
+    records: list[dict] = []
+    base_cases = baselines.get("cases", {})
+    for case in sorted(set(base_cases) - set(cases)):
+        failures.append(f"{case}: present in baselines but not measured")
+    for case, current in sorted(cases.items()):
+        record = {"case": case, **current}
+        if current["work"] != current["vector_work"]:
+            failures.append(
+                f"{case}: engine work diverged — volcano={current['work']} "
+                f"vector={current['vector_work']} (equivalence contract)"
+            )
+            record["status"] = "work-diverged"
+            records.append(record)
+            continue
+        base = base_cases.get(case)
+        if base is None:
+            failures.append(
+                f"{case}: no baseline (run with --update-baselines and "
+                "commit benchmarks/baselines.json)"
+            )
+            record["status"] = "no-baseline"
+            records.append(record)
+            continue
+        record["baseline_speedup"] = base["speedup"]
+        record["baseline_work"] = base["work"]
+        status = "ok"
+        work_drift = (
+            abs(current["work"] - base["work"]) / base["work"]
+            if base["work"]
+            else 0.0
+        )
+        record["work_drift"] = round(work_drift, 4)
+        if work_drift > tolerance:
+            failures.append(
+                f"{case}: work drifted {work_drift:.0%} "
+                f"(baseline {base['work']}, now {current['work']}) — "
+                "plan changed; refresh baselines if intentional"
+            )
+            status = "work-drift"
+        elif base["speedup"] < noise_floor:
+            status = "below-noise-floor"
+        elif current["speedup"] < base["speedup"] * (1.0 - tolerance):
+            failures.append(
+                f"{case}: speedup regressed to {current['speedup']:.2f}x "
+                f"(baseline {base['speedup']:.2f}x, tolerance {tolerance:.0%})"
+            )
+            status = "speedup-regressed"
+        record["status"] = status
+        records.append(record)
+    return records, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/fig8_gate.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("measurements", help="measurement JSON from --smoke --out")
+    parser.add_argument(
+        "--baselines", default=str(DEFAULT_BASELINES),
+        help="checked-in baselines file (default benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the comparison JSON document here"
+    )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="rewrite the baselines file from these measurements and exit",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--noise-floor", type=float, default=DEFAULT_NOISE_FLOOR)
+    args = parser.parse_args(argv)
+
+    document = json.loads(Path(args.measurements).read_text())
+    cases = pair_cases(document.get("measurements", []))
+    if not cases:
+        print("bench gate: no volcano/vector case pairs in measurements")
+        return 1
+
+    if args.update_baselines:
+        baselines = {
+            "benchmark": document.get("meta", {}).get("benchmark"),
+            "scale": document.get("meta", {}).get("scale"),
+            "repetitions": document.get("meta", {}).get("repetitions"),
+            "tolerance": args.tolerance,
+            "noise_floor": args.noise_floor,
+            "cases": {
+                case: {"speedup": data["speedup"], "work": data["work"]}
+                for case, data in sorted(cases.items())
+            },
+        }
+        Path(args.baselines).write_text(json.dumps(baselines, indent=2) + "\n")
+        print(f"bench gate: wrote {len(cases)} baselines to {args.baselines}")
+        return 0
+
+    baselines = json.loads(Path(args.baselines).read_text())
+    scale = document.get("meta", {}).get("scale")
+    if scale != baselines.get("scale"):
+        print(
+            f"bench gate: measurement scale {scale} != baseline scale "
+            f"{baselines.get('scale')} — work counters are scale-dependent"
+        )
+        return 1
+    records, failures = check(
+        cases, baselines, args.tolerance, args.noise_floor
+    )
+
+    width = max(len(r["case"]) for r in records)
+    print(f"{'case':<{width}} {'speedup':>8} {'baseline':>9} {'work':>9}  status")
+    for r in records:
+        base = r.get("baseline_speedup")
+        base_text = f"{base:>8.2f}x" if base is not None else f"{'-':>9}"
+        print(
+            f"{r['case']:<{width}} {r['speedup']:>7.2f}x {base_text} "
+            f"{r['work']:>9}  {r['status']}"
+        )
+
+    if args.out:
+        comparison = {
+            "meta": document.get("meta", {}),
+            "tolerance": args.tolerance,
+            "noise_floor": args.noise_floor,
+            "failures": failures,
+            "cases": records,
+        }
+        Path(args.out).write_text(json.dumps(comparison, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench gate passed: {len(records)} cases")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

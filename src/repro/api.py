@@ -18,15 +18,22 @@ from typing import Any, Iterable, Sequence
 
 from repro.algebra.operators import LogicalOperator
 from repro.errors import PlanError, ReproError
-from repro.execution.base import PhysicalOperator, run_plan
+from repro.execution.base import PhysicalOperator
 from repro.execution.governor import Budget, Governor
 from repro.execution.parallel import BACKENDS
 from repro.execution.context import Counters, ExecutionContext
 from repro.observe.explain import Explanation
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.trace import Tracer
+from repro.execution.vector.compiler import compile_plan
 from repro.optimizer.engine import OptimizationReport, Optimizer
-from repro.optimizer.planner import Planner, PlannerOptions
+from repro.optimizer.planner import (
+    ENGINES,
+    VECTOR_ENGINE,
+    VOLCANO_ENGINE,
+    Planner,
+    PlannerOptions,
+)
 from repro.sql.ast import AstExplain
 from repro.sql.binder import Binder
 from repro.sql.parser import parse, parse_statement
@@ -48,6 +55,8 @@ class QueryResult:
     optimization: OptimizationReport | None = None
     metrics: MetricsRegistry | None = None
     trace: Tracer | None = None
+    #: Which execution engine produced the rows ("volcano" or "vector").
+    engine: str = VOLCANO_ENGINE
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -98,6 +107,19 @@ def _with_parallel_knobs(
     elif parallelism is not None and parallelism > 1:
         updates["gapply_backend"] = "process"
     return replace(base, **updates)
+
+
+def _with_engine_knob(
+    options: PlannerOptions | None, engine: str | None
+) -> PlannerOptions | None:
+    """Fold the convenience ``engine`` knob into planner options."""
+    if engine is None:
+        return options
+    if engine not in ENGINES:
+        raise PlanError(
+            f"unknown execution engine {engine!r}; use one of {ENGINES}"
+        )
+    return replace(options or PlannerOptions(), engine=engine)
 
 
 class Database:
@@ -176,6 +198,7 @@ class Database:
         memory_budget: int | None = None,
         max_rows: int | None = None,
         governor: Governor | None = None,
+        engine: str | None = None,
     ) -> QueryResult | Explanation:
         """Run SQL text end to end and materialize the result.
 
@@ -183,6 +206,10 @@ class Database:
         execution-phase knobs on :class:`PlannerOptions` (``backend`` in
         ``{"serial", "thread", "process"}``); explicit ``planner_options``
         fields are overridden only by the knobs actually passed.
+        ``engine`` likewise shorthands ``PlannerOptions.engine``:
+        ``"volcano"`` (default) or ``"vector"`` for the batch-at-a-time
+        columnar engine (identical rows/counters/metrics; unsupported
+        operators fall back to Volcano automatically).
 
         ``timeout`` (wall-clock seconds), ``memory_budget`` (buffered
         cells — the unit of ``Counters.buffered_cells``) and ``max_rows``
@@ -215,7 +242,7 @@ class Database:
             logical, optimize, planner_options, parallelism, backend,
             explain, collect_metrics, trace, sql_text=text,
             timeout=timeout, memory_budget=memory_budget, max_rows=max_rows,
-            governor=governor,
+            governor=governor, engine=engine,
         )
 
     def execute(
@@ -233,6 +260,7 @@ class Database:
         memory_budget: int | None = None,
         max_rows: int | None = None,
         governor: Governor | None = None,
+        engine: str | None = None,
     ) -> QueryResult | Explanation:
         """Optimize (optionally), lower, and run a logical plan.
 
@@ -270,9 +298,18 @@ class Database:
                 ),
                 sql=sql_text,
             )
-        planner_options = _with_parallel_knobs(
-            planner_options, parallelism, backend
+        planner_options = _with_engine_knob(
+            _with_parallel_knobs(planner_options, parallelism, backend),
+            engine,
         )
+        chosen_engine = (
+            VOLCANO_ENGINE if planner_options is None else planner_options.engine
+        )
+        if chosen_engine not in ENGINES:
+            raise PlanError(
+                f"unknown execution engine {chosen_engine!r}; "
+                f"use one of {ENGINES}"
+            )
         if explain:
             # Estimated cardinalities are the point of EXPLAIN output.
             planner_options = replace(
@@ -304,13 +341,20 @@ class Database:
         )
         span = None if tracer is None else tracer.begin("plan", physical.label())
         try:
+            if chosen_engine == VECTOR_ENGINE:
+                vector_plan = compile_plan(
+                    physical, batch_size=planner_options.vector_batch_size
+                )
+                row_source = vector_plan.rows(ctx)
+            else:
+                row_source = physical.execute(ctx)
             if governor is None:
-                rows = run_plan(physical, ctx)
+                rows = list(row_source)
             else:
                 # Enforce max_rows at the root: typed error the moment the
                 # budget is crossed, not after materializing everything.
                 rows = []
-                for row in physical.execute(ctx):
+                for row in row_source:
                     governor.tick_output(1)
                     rows.append(row)
         except ReproError as error:
@@ -334,6 +378,7 @@ class Database:
             optimization=report,
             metrics=registry,
             trace=tracer,
+            engine=chosen_engine,
         )
 
     def _optimizer(self, planner_options: PlannerOptions | None) -> Optimizer:

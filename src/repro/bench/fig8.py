@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.bench.harness import Measurement, measure_sql
 from repro.execution.gapply import HASH_PARTITION, SORT_PARTITION
-from repro.optimizer.planner import PlannerOptions
+from repro.optimizer.planner import VOLCANO_ENGINE, PlannerOptions
 from repro.storage.catalog import Catalog
 from repro.workloads.queries import PAPER_QUERIES, PaperQuery
 from repro.workloads.tpch import TpchConfig, load_tpch
@@ -56,11 +56,16 @@ def run_query(
     repetitions: int = 3,
     backend: str = "serial",
     parallelism: int = 1,
+    engine: str = VOLCANO_ENGINE,
 ) -> Fig8Row:
     """Measure one paper query; the GApply sides honour the execution-phase
     ``backend``/``parallelism`` knobs so the figure can be regenerated with
-    a parallel execution phase (the baseline has no GApply to parallelize)."""
-    baseline = measure_sql(catalog, query.baseline_sql, repetitions=repetitions)
+    a parallel execution phase (the baseline has no GApply to parallelize).
+    ``engine`` selects the Volcano iterators or the vector pipelines for
+    all three measurements."""
+    baseline = measure_sql(
+        catalog, query.baseline_sql, repetitions=repetitions, engine=engine
+    )
     gapply_hash = measure_sql(
         catalog,
         query.gapply_sql,
@@ -70,6 +75,7 @@ def run_query(
             gapply_parallelism=parallelism,
         ),
         repetitions=repetitions,
+        engine=engine,
     )
     gapply_sort = measure_sql(
         catalog,
@@ -80,6 +86,7 @@ def run_query(
             gapply_parallelism=parallelism,
         ),
         repetitions=repetitions,
+        engine=engine,
     )
     return Fig8Row(query.name, baseline, gapply_hash, gapply_sort)
 
@@ -89,11 +96,14 @@ def run_figure8(
     repetitions: int = 3,
     backend: str = "serial",
     parallelism: int = 1,
+    engine: str = VOLCANO_ENGINE,
+    catalog: Catalog | None = None,
 ) -> list[Fig8Row]:
-    catalog = Catalog()
-    load_tpch(catalog, TpchConfig(scale=scale))
+    if catalog is None:
+        catalog = Catalog()
+        load_tpch(catalog, TpchConfig(scale=scale))
     return [
-        run_query(catalog, query, repetitions, backend, parallelism)
+        run_query(catalog, query, repetitions, backend, parallelism, engine)
         for query in PAPER_QUERIES
     ]
 

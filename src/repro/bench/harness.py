@@ -24,7 +24,13 @@ from repro.algebra.operators import LogicalOperator
 from repro.execution.base import PhysicalOperator, run_plan
 from repro.execution.context import Counters, ExecutionContext
 from repro.optimizer.engine import Optimizer, apply_rule_once
-from repro.optimizer.planner import Planner, PlannerOptions
+from repro.optimizer.planner import (
+    ENGINES,
+    VECTOR_ENGINE,
+    VOLCANO_ENGINE,
+    Planner,
+    PlannerOptions,
+)
 from repro.optimizer.rules import DEFAULT_RULES, Rule
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
@@ -54,6 +60,10 @@ class Measurement:
     #: Per-operator metrics snapshot of the best run (path -> counters),
     #: populated only when the measurement asked for metrics collection.
     metrics: dict | None = None
+    #: Which execution engine drove the plan: ``"volcano"`` (row-at-a-time
+    #: iterators) or ``"vector"`` (batched pipelines). Work counters are
+    #: engine-independent by the equivalence contract; only elapsed moves.
+    engine: str = VOLCANO_ENGINE
 
     def ratio_to(self, other: "Measurement") -> float:
         """self/other elapsed-time ratio (``other`` is the faster plan)."""
@@ -77,6 +87,7 @@ class Measurement:
             "cells": self.cells,
             "backend": self.backend,
             "parallelism": self.parallelism,
+            "engine": self.engine,
         }
         if self.metrics is not None:
             record["metrics"] = self.metrics
@@ -89,11 +100,17 @@ def measure_physical(
     backend: str = "serial",
     parallelism: int = 1,
     collect_metrics: bool = False,
+    engine: str = VOLCANO_ENGINE,
 ) -> Measurement:
     """Best-of-N execution of a physical plan.
 
     ``backend``/``parallelism`` are recorded into the measurement; the
     plan itself already carries the knobs (set at lowering time).
+
+    ``engine`` selects the driving loop: Volcano iterators or the
+    batched vector pipelines. Vector compilation happens *outside* the
+    timed region — like planning and lowering, it is a once-per-plan
+    cost, and ``elapsed`` measures execution alone in both engines.
 
     ``collect_metrics`` attaches a fresh per-operator metrics registry to
     every repetition and stores the best run's snapshot (with timings) on
@@ -101,6 +118,13 @@ def measure_physical(
     per row, which would pollute ``elapsed`` for measurements that did
     not ask for it.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    vector_plan = None
+    if engine == VECTOR_ENGINE:
+        from repro.execution.vector.compiler import compile_plan
+
+        vector_plan = compile_plan(plan)
     best = float("inf")
     counters = Counters()
     rows = 0
@@ -114,7 +138,10 @@ def measure_physical(
             registry.register_plan(plan)
         ctx = ExecutionContext(metrics=registry)
         start = time.perf_counter()
-        result = run_plan(plan, ctx)
+        if vector_plan is not None:
+            result = vector_plan.run(ctx)
+        else:
+            result = run_plan(plan, ctx)
         elapsed = time.perf_counter() - start
         if elapsed < best:
             best = elapsed
@@ -132,6 +159,7 @@ def measure_physical(
         backend,
         parallelism,
         metrics_snapshot,
+        engine,
     )
 
 
@@ -189,20 +217,24 @@ def measure_sql(
     options: PlannerOptions | None = None,
     repetitions: int = DEFAULT_REPETITIONS,
     collect_metrics: bool = False,
+    engine: str | None = None,
 ) -> Measurement:
     """Bind, (optionally) optimize, lower and measure one SQL query.
 
     The GApply backend/parallelism from ``options`` are stamped onto the
     measurement so downstream tables can label serial vs parallel runs.
+    ``engine`` overrides the engine from ``options`` (default Volcano).
     """
     logical = bind(catalog, sql)
     if optimize:
         logical = optimize_with(catalog, logical)
     backend = options.gapply_backend if options else "serial"
     parallelism = options.gapply_parallelism if options else 1
+    if engine is None:
+        engine = options.engine if options else VOLCANO_ENGINE
     return measure_physical(
         lower(catalog, logical, options), repetitions, backend, parallelism,
-        collect_metrics,
+        collect_metrics, engine,
     )
 
 

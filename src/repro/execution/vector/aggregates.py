@@ -1,0 +1,167 @@
+"""Column-feed aggregate states for the vector engine.
+
+The row engine's :class:`~repro.algebra.expressions.AggregateAccumulator`
+takes one value per ``add`` call. Here each aggregate keeps a *state*
+object fed a whole column (or column slice) at a time, with specialized
+updates where the argument's static type proves them exact:
+
+* ``COUNT(*)`` / ``COUNT(x)`` — length arithmetic and ``list.count``.
+* ``SUM``/``AVG`` over INTEGER — built-in ``sum`` per slice (integer
+  addition is associative, so regrouping is exact).
+* ``SUM``/``AVG`` over FLOAT — a sequential loop in the row engine's
+  exact addition order; IEEE addition is *not* associative, and the
+  equivalence contract promises bit-identical results.
+* ``MIN``/``MAX`` over any non-ANY type — native ``min``/``max``, which
+  agree with ``compare_values`` ordering once cross-type mixes are ruled
+  out (values in a typed column are homogeneous by ``check_value``).
+
+``DISTINCT`` aggregates and ``ANY``-typed arguments wrap the row
+accumulator unchanged — correctness is never traded for the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.algebra.expressions import (
+    AggregateAccumulator,
+    AggregateCall,
+    AggregateFunction,
+)
+from repro.storage.types import DataType
+
+
+class GenericState:
+    """Wrap the row engine's accumulator: exact semantics, no speedup."""
+
+    __slots__ = ("acc",)
+
+    def __init__(self, call: AggregateCall):
+        self.acc = AggregateAccumulator(call)
+
+    def update(self, values: Sequence) -> None:
+        add = self.acc.add
+        for value in values:
+            add(value)
+
+    def result(self) -> Any:
+        return self.acc.result()
+
+
+class CountStarState:
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def update_n(self, n: int) -> None:
+        self.count += n
+
+    def result(self) -> int:
+        return self.count
+
+
+class CountState:
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def update(self, values: Sequence) -> None:
+        self.count += len(values) - values.count(None)
+
+    def result(self) -> int:
+        return self.count
+
+
+class SumState:
+    """SUM/AVG; ``exact`` chooses sliced ``sum`` vs the sequential loop."""
+
+    __slots__ = ("_sum", "count", "avg", "exact")
+
+    def __init__(self, avg: bool, exact: bool):
+        self._sum: Any = None
+        self.count = 0
+        self.avg = avg
+        self.exact = exact
+
+    def update(self, values: Sequence) -> None:
+        if self.exact:
+            non_null = [v for v in values if v is not None]
+            if non_null:
+                self.count += len(non_null)
+                part = sum(non_null)
+                self._sum = part if self._sum is None else self._sum + part
+            return
+        # Float addition: keep the row engine's left-to-right order.
+        total = self._sum
+        count = self.count
+        for value in values:
+            if value is not None:
+                count += 1
+                total = value if total is None else total + value
+        self._sum = total
+        self.count = count
+
+    def result(self) -> Any:
+        if self.avg:
+            return None if self.count == 0 else self._sum / self.count
+        return self._sum
+
+
+class MinState:
+    __slots__ = ("_min",)
+
+    def __init__(self):
+        self._min: Any = None
+
+    def update(self, values: Sequence) -> None:
+        non_null = [v for v in values if v is not None]
+        if non_null:
+            candidate = min(non_null)
+            if self._min is None or candidate < self._min:
+                self._min = candidate
+
+    def result(self) -> Any:
+        return self._min
+
+
+class MaxState:
+    __slots__ = ("_max",)
+
+    def __init__(self):
+        self._max: Any = None
+
+    def update(self, values: Sequence) -> None:
+        non_null = [v for v in values if v is not None]
+        if non_null:
+            candidate = max(non_null)
+            if self._max is None or candidate > self._max:
+                self._max = candidate
+
+    def result(self) -> Any:
+        return self._max
+
+
+def make_state(call: AggregateCall, argument_dtype: DataType):
+    """Pick the fastest state whose specialization is statically safe."""
+    function = call.function
+    if function is AggregateFunction.COUNT_STAR:
+        return CountStarState()
+    if call.distinct:
+        return GenericState(call)
+    if function is AggregateFunction.COUNT:
+        return CountState()
+    if argument_dtype is DataType.ANY:
+        return GenericState(call)
+    if function in (AggregateFunction.SUM, AggregateFunction.AVG):
+        if argument_dtype is DataType.INTEGER:
+            return SumState(avg=function is AggregateFunction.AVG, exact=True)
+        if argument_dtype is DataType.FLOAT:
+            return SumState(avg=function is AggregateFunction.AVG, exact=False)
+        return GenericState(call)
+    if function is AggregateFunction.MIN:
+        return MinState()
+    if function is AggregateFunction.MAX:
+        return MaxState()
+    return GenericState(call)

@@ -12,7 +12,7 @@ import argparse
 import sys
 import time
 
-from repro.fuzz.planspace import FULL_PROFILE, QUICK_PROFILE
+from repro.fuzz.planspace import ENGINE_PROFILE, FULL_PROFILE, QUICK_PROFILE
 from repro.fuzz.runner import run_fuzz
 
 
@@ -25,9 +25,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=500, help="number of cases")
     parser.add_argument(
         "--profile",
-        choices=[QUICK_PROFILE, FULL_PROFILE],
+        choices=[QUICK_PROFILE, FULL_PROFILE, ENGINE_PROFILE],
         default=FULL_PROFILE,
-        help="planner-configuration coverage (default full)",
+        help="planner-configuration coverage (default full); 'engine' runs "
+        "the Volcano-vs-vector differential across batch sizes and plan "
+        "shapes",
     )
     parser.add_argument(
         "--corpus-dir",

@@ -66,7 +66,6 @@ from typing import Any, Callable
 
 from repro.api import Database
 from repro.errors import (
-    BudgetExceeded,
     MemoryBudgetExceeded,
     QueryCancelled,
     ReproError,
@@ -80,6 +79,7 @@ from repro.execution.parallel import (
     SERIAL_BACKEND,
     THREAD_BACKEND,
 )
+from repro.optimizer.planner import ENGINES, VOLCANO_ENGINE
 from repro.workloads.queries import Q1
 from repro.workloads.tpch import TpchConfig, load_tpch
 
@@ -145,6 +145,9 @@ class ChaosCase:
     timeout: float | None = None
     memory_budget: int | None = None
     max_rows: int | None = None
+    #: Which execution engine drives the query; every scenario's invariant
+    #: (correct rows or an allowed typed error) is engine-independent.
+    engine: str = VOLCANO_ENGINE
     #: Error types that count as a correct outcome for this scenario.
     allowed_errors: tuple[type, ...] = ()
     #: Must the run end in correct rows (no error tolerated)?
@@ -159,6 +162,7 @@ class ChaosCase:
             "timeout": self.timeout,
             "memory_budget": self.memory_budget,
             "max_rows": self.max_rows,
+            "engine": self.engine,
             "fault": None if self.fault is None else self.fault.to_dict(),
             "allowed_errors": [e.__name__ for e in self.allowed_errors],
         }
@@ -222,6 +226,9 @@ def build_case(seed: int) -> ChaosCase:
             case.must_succeed = False
     elif scenario == "clean-spill":
         case.memory_budget = rng.choice((64, 128, 512))
+    # Drawn LAST so the engine dimension extends the seed space without
+    # reshuffling which scenario/fault shape every existing seed produces.
+    case.engine = rng.choice(ENGINES)
     return case
 
 
@@ -268,6 +275,7 @@ def run_chaos_case(case: ChaosCase) -> str | None:
         "timeout": case.timeout,
         "memory_budget": case.memory_budget,
         "max_rows": case.max_rows,
+        "engine": case.engine,
         # GApply must survive to execution for faults/spill to bite; the
         # optimizer may otherwise rewrite it into a plain aggregate.
         "optimize": False,

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import PlanError
-from repro.optimizer.planner import PlannerOptions
+from repro.optimizer.planner import VECTOR_ENGINE, PlannerOptions
 
 # Cap exploration per configuration: fuzz queries are small, and the full
 # alternative budget (128) just burns time re-deriving the same plans.
@@ -64,6 +64,7 @@ def plan_configurations(full: bool) -> list[PlanConfig]:
             _options(gapply_backend="process", gapply_parallelism=2),
             sample_every=25,
         ),
+        PlanConfig("vector-engine", _options(engine=VECTOR_ENGINE)),
     ]
     if full:
         disabled = rules
@@ -82,10 +83,48 @@ def plan_configurations(full: bool) -> list[PlanConfig]:
     return configs
 
 
+def engine_configurations() -> list[PlanConfig]:
+    """The engine-differential profile: every case's Volcano baseline rows
+    against the vector engine across the knobs that change which batched
+    operators and fast paths a plan exercises. Batch sizes 3 and 1 force
+    cross-batch state (limit countdowns, distinct sets, hash-join builds
+    spanning batches) that the default 1024 hides on small fuzz data."""
+    return [
+        PlanConfig("vector", _options(engine=VECTOR_ENGINE)),
+        PlanConfig(
+            "vector-batch-3",
+            _options(engine=VECTOR_ENGINE, vector_batch_size=3),
+        ),
+        PlanConfig(
+            "vector-batch-1",
+            _options(engine=VECTOR_ENGINE, vector_batch_size=1),
+        ),
+        PlanConfig(
+            "vector-unoptimized",
+            _options(engine=VECTOR_ENGINE),
+            optimize=False,
+        ),
+        PlanConfig(
+            "vector-sort-partitioning",
+            _options(engine=VECTOR_ENGINE, gapply_partitioning="sort"),
+        ),
+        PlanConfig(
+            "vector-nested-loop-joins",
+            _options(engine=VECTOR_ENGINE, prefer_hash_join=False),
+        ),
+        PlanConfig(
+            "vector-no-indexes",
+            _options(engine=VECTOR_ENGINE, use_indexes=False),
+        ),
+    ]
+
+
 #: Every configuration (the CLI default).
 FULL_PROFILE = "full"
 #: Bounded subset for tier-1 tests.
 QUICK_PROFILE = "quick"
+#: Volcano-vs-vector differential across batch sizes and plan shapes.
+ENGINE_PROFILE = "engine"
 
 
 def profile_configurations(profile: str) -> list[PlanConfig]:
@@ -93,4 +132,6 @@ def profile_configurations(profile: str) -> list[PlanConfig]:
         return plan_configurations(full=True)
     if profile == QUICK_PROFILE:
         return plan_configurations(full=False)
+    if profile == ENGINE_PROFILE:
+        return engine_configurations()
     raise PlanError(f"unknown fuzz profile {profile!r}")

@@ -64,8 +64,15 @@ from repro.execution.parallel import SERIAL_BACKEND
 from repro.execution.indexscan import PIndexNestedLoopJoin, PIndexSeek
 from repro.execution.joins import PHashJoin, PNestedLoopJoin
 from repro.execution.scans import PGroupScan, PTableScan
+from repro.execution.vector.batch import DEFAULT_BATCH_SIZE
 from repro.optimizer.access_paths import choose_join_side, choose_seek
 from repro.storage.catalog import Catalog
+
+#: Execution engine names accepted by ``PlannerOptions.engine`` and the
+#: ``Database.sql(engine=...)`` convenience knob.
+VOLCANO_ENGINE = "volcano"
+VECTOR_ENGINE = "vector"
+ENGINES = (VOLCANO_ENGINE, VECTOR_ENGINE)
 
 
 @dataclass(frozen=True)
@@ -91,6 +98,15 @@ class PlannerOptions:
     space — every rule disabled one at a time, all rules off — and assert
     that results never change. Unknown rule names raise at use time.
 
+    ``engine`` selects how the lowered plan is *driven*: ``"volcano"``
+    (the default row-at-a-time iterators) or ``"vector"`` (the
+    batch-at-a-time columnar engine in :mod:`repro.execution.vector`,
+    which compiles the same physical plan into fused per-batch pipelines
+    and transparently falls back to Volcano for unsupported operators).
+    Both engines produce identical rows, counters, and metrics for any
+    plan — the fuzz driver's ``engine`` profile asserts exactly that.
+    ``vector_batch_size`` sets the rows-per-batch granularity.
+
     ``collect_estimates`` stamps every lowered physical node with the cost
     model's row estimate for its logical source (``est_rows``), which
     EXPLAIN ANALYZE renders against actual cardinalities. Off by default:
@@ -113,6 +129,8 @@ class PlannerOptions:
     disabled_rules: tuple[str, ...] = ()
     optimizer_max_alternatives: int | None = None
     collect_estimates: bool = False
+    engine: str = VOLCANO_ENGINE
+    vector_batch_size: int = DEFAULT_BATCH_SIZE
 
     def active_rules(self):
         """The default optimizer rule set minus ``disabled_rules``.

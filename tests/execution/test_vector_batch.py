@@ -1,0 +1,203 @@
+"""Unit tests for the columnar batch and the batched expression kernels.
+
+The contract under test: for every expression and every input batch,
+``compile_batch(expr, schema)(batch, ctx)`` returns exactly
+``[expr.compile(schema)(row, ctx) for row in batch.rows()]`` — same
+values, same 3VL NULLs, same typed errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    CaseWhen,
+    InList,
+    IsNull,
+    Negate,
+    Not,
+    Or,
+    col,
+    eq,
+    ge,
+    gt,
+    lit,
+    lt,
+    ne,
+)
+from repro.errors import ExecutionError
+from repro.execution.context import ExecutionContext
+from repro.execution.vector.batch import ColumnBatch
+from repro.execution.vector.exprs import compile_batch
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+SCHEMA = Schema(
+    (
+        Column("a", DataType.INTEGER, "t"),
+        Column("b", DataType.INTEGER, "t"),
+        Column("f", DataType.FLOAT, "t"),
+        Column("s", DataType.STRING, "t"),
+        Column("x", DataType.ANY, "t"),
+    )
+)
+
+ROWS = [
+    (1, 10, 1.5, "ab", 1),
+    (2, 0, -2.0, "cd", "mixed"),
+    (None, 3, None, None, None),
+    (4, None, 0.0, "ab", True),
+    (-5, 5, 3.25, "zz", 2.5),
+    (0, 7, 1.0, "", 0),
+]
+
+
+def batch_of(rows=None):
+    rows = ROWS if rows is None else rows
+    return ColumnBatch.from_rows(list(rows), len(SCHEMA))
+
+
+def assert_matches_scalar(expr, rows=None):
+    """Batch evaluation must equal row-at-a-time evaluation exactly."""
+    rows = ROWS if rows is None else rows
+    ctx = ExecutionContext()
+    scalar = expr.compile(SCHEMA)
+    expected = [scalar(row, ctx) for row in rows]
+    got = compile_batch(expr, SCHEMA)(batch_of(rows), ctx)
+    assert list(got) == expected
+
+
+class TestColumnBatch:
+    def test_round_trip_rows(self):
+        batch = batch_of()
+        assert batch.rows() == ROWS
+        assert batch.length == len(ROWS)
+        assert batch.has_rows
+
+    def test_column_extraction(self):
+        # column() may hand back a list or tuple depending on the current
+        # representation; only the values are contractual.
+        batch = batch_of()
+        assert list(batch.column(0)) == [row[0] for row in ROWS]
+        assert list(batch.column(3)) == [row[3] for row in ROWS]
+
+    def test_select_subset_preserves_order(self):
+        batch = batch_of().select([4, 0, 2])
+        assert batch.rows() == [ROWS[4], ROWS[0], ROWS[2]]
+        assert list(batch.column(1)) == [ROWS[4][1], ROWS[0][1], ROWS[2][1]]
+
+    def test_select_composes(self):
+        batch = batch_of().select([0, 2, 4]).select([2, 0])
+        assert batch.rows() == [ROWS[4], ROWS[0]]
+
+    def test_head(self):
+        assert batch_of().head(2).rows() == ROWS[:2]
+        assert batch_of().head(100).rows() == ROWS
+
+    def test_project_columns(self):
+        batch = batch_of().project_columns((3, 0))
+        assert batch.rows() == [(row[3], row[0]) for row in ROWS]
+
+    def test_null_mask(self):
+        batch = batch_of()
+        assert batch.null_mask(0) == [row[0] is None for row in ROWS]
+
+    def test_zero_width_batch(self):
+        batch = ColumnBatch(columns=[], length=3)
+        assert batch.length == 3
+        assert batch.rows() == [(), (), ()]
+
+
+class TestComparisonKernels:
+    @pytest.mark.parametrize("make", [eq, ne, lt, gt, ge])
+    def test_same_column_comparisons(self, make):
+        assert_matches_scalar(make(col("a"), col("b")))
+
+    def test_literal_comparison_fast_path(self):
+        assert_matches_scalar(gt(col("a"), lit(1)))
+
+    def test_string_comparison(self):
+        assert_matches_scalar(eq(col("s"), lit("ab")))
+
+    def test_any_column_generic_path(self):
+        # ANY columns mix types; only rows where compare is defined are
+        # present (int vs int), NULLs propagate.
+        rows = [(1, 1, 1.0, "a", 5), (2, 2, 2.0, "b", None), (3, 3, 3.0, "c", 7)]
+        assert_matches_scalar(gt(col("x"), lit(6)), rows)
+
+    def test_null_propagates(self):
+        values = compile_batch(eq(col("a"), lit(1)), SCHEMA)(
+            batch_of(), ExecutionContext()
+        )
+        assert values[2] is None  # row with a IS NULL
+
+
+class TestConnectives:
+    def test_and_masks_divide_by_zero(self):
+        # b != 0 AND a / b > 0 — the scalar evaluator short-circuits, so
+        # the batched And must mask rows where the guard failed before
+        # evaluating the division (otherwise row (2, 0, ...) raises).
+        guard = ne(col("b"), lit(0))
+        division = gt(Arithmetic(ArithmeticOp.DIV, col("a"), col("b")), lit(0))
+        assert_matches_scalar(And(guard, division))
+
+    def test_or_skips_decided_rows(self):
+        first = eq(col("b"), lit(0))
+        second = gt(Arithmetic(ArithmeticOp.DIV, col("a"), col("b")), lit(0))
+        assert_matches_scalar(Or(first, second))
+
+    def test_three_valued_and_or(self):
+        assert_matches_scalar(And(gt(col("a"), lit(0)), gt(col("b"), lit(4))))
+        assert_matches_scalar(Or(gt(col("a"), lit(0)), gt(col("b"), lit(4))))
+
+    def test_not_and_is_null(self):
+        assert_matches_scalar(Not(gt(col("a"), lit(1))))
+        assert_matches_scalar(IsNull(col("f")))
+        assert_matches_scalar(IsNull(col("a"), negated=True))
+
+
+class TestArithmeticKernels:
+    @pytest.mark.parametrize(
+        "op", [ArithmeticOp.ADD, ArithmeticOp.SUB, ArithmeticOp.MUL]
+    )
+    def test_fast_numeric_ops(self, op):
+        assert_matches_scalar(Arithmetic(op, col("a"), col("b")))
+        assert_matches_scalar(Arithmetic(op, col("f"), lit(2.0)))
+
+    def test_division_by_zero_raises_same_error(self):
+        expr = Arithmetic(ArithmeticOp.DIV, col("a"), col("b"))
+        with pytest.raises(ExecutionError):
+            expr.compile(SCHEMA)(ROWS[1], ExecutionContext())
+        with pytest.raises(ExecutionError):
+            compile_batch(expr, SCHEMA)(batch_of(), ExecutionContext())
+
+    def test_integer_division_truncates_toward_zero(self):
+        rows = [(-7, 2, 0.0, "", 0), (7, -2, 0.0, "", 0), (7, 2, 0.0, "", 0)]
+        assert_matches_scalar(
+            Arithmetic(ArithmeticOp.DIV, col("a"), col("b")), rows
+        )
+
+    def test_negate(self):
+        assert_matches_scalar(Negate(col("a")))
+
+
+class TestInListAndFallback:
+    def test_in_list_literals(self):
+        assert_matches_scalar(InList(col("a"), (lit(1), lit(4), lit(9))))
+
+    def test_in_list_with_null_item(self):
+        # NULL in the list: misses become NULL, hits stay True.
+        assert_matches_scalar(InList(col("a"), (lit(1), lit(None))))
+        assert_matches_scalar(
+            InList(col("a"), (lit(1), lit(None)), negated=True)
+        )
+
+    def test_case_when_scalar_fallback(self):
+        expr = CaseWhen(
+            whens=((gt(col("a"), lit(1)), lit("big")),),
+            default=lit("small"),
+        )
+        assert_matches_scalar(expr)
