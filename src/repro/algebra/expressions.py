@@ -120,6 +120,33 @@ class Literal(Expression):
 
 
 @dataclass(frozen=True)
+class BindParameter(Literal):
+    """A prepared-statement parameter slot carrying its seed value.
+
+    Subclassing :class:`Literal` is the load-bearing design choice of the
+    plan cache: every consumer that special-cases literals — the cost
+    model's value-dependent selectivity, rewrite-rule matching, type
+    inference — sees the seed ``value`` and behaves exactly as if the
+    original literal were still in place, so a plan optimized from a
+    parameterized tree is the same plan the literal query would get. The
+    extra ``index`` ties the slot to a position in the parameter vector;
+    execution never sees a BindParameter (the cache substitutes plain
+    Literals before lowering).
+
+    Distinct from :class:`Parameter`, the *correlated* scalar bound by an
+    enclosing Apply: rules treat ``parameters()`` as correlation markers,
+    so reusing it here would make every parameterized predicate look
+    correlated and block pushdown. BindParameter inherits Literal's empty
+    ``parameters()``.
+    """
+
+    index: int = 0
+
+    def __str__(self) -> str:
+        return f"${self.index + 1}"
+
+
+@dataclass(frozen=True)
 class Parameter(Expression):
     """A correlated scalar parameter bound by an enclosing Apply.
 

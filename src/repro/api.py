@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.operators import LogicalOperator
-from repro.errors import PlanError, ReproError
+from repro.errors import BindError, PlanError, ReproError
 from repro.execution.base import PhysicalOperator
 from repro.execution.governor import Budget, Governor
 from repro.execution.parallel import BACKENDS
@@ -27,6 +27,14 @@ from repro.observe.metrics import MetricsRegistry
 from repro.observe.trace import Tracer
 from repro.execution.vector.compiler import compile_plan
 from repro.optimizer.engine import OptimizationReport, Optimizer
+from repro.optimizer.plancache import (
+    CachedPlan,
+    PlanCache,
+    PlanKey,
+    options_tag,
+    substitute_parameters,
+    text_digest,
+)
 from repro.optimizer.planner import (
     ENGINES,
     VECTOR_ENGINE,
@@ -34,9 +42,17 @@ from repro.optimizer.planner import (
     Planner,
     PlannerOptions,
 )
-from repro.sql.ast import AstExplain
+from repro.sql.ast import AstExplain, AstQuery
 from repro.sql.binder import Binder
+from repro.sql.normalize import (
+    bind_ast_parameters,
+    count_parameters,
+    parameterize,
+    seed_parameters,
+    type_signature,
+)
 from repro.sql.parser import parse, parse_statement
+from repro.sql.printer import print_statement
 from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 from repro.storage.table import Table, table_from_rows
@@ -57,6 +73,10 @@ class QueryResult:
     trace: Tracer | None = None
     #: Which execution engine produced the rows ("volcano" or "vector").
     engine: str = VOLCANO_ENGINE
+    #: Plan-cache outcome for this run (``source`` is "hit"/"miss", plus
+    #: key digest and parameter count); None when the run bypassed the
+    #: cache.
+    plan_cache: dict[str, Any] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -134,8 +154,18 @@ class Database:
     mutates.
     """
 
-    def __init__(self, catalog: Catalog | None = None):
+    #: Sentinel: "build a fresh default PlanCache" (vs. None = disabled).
+    _DEFAULT_CACHE: Any = object()
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        plan_cache: "PlanCache | None" = _DEFAULT_CACHE,
+    ):
         self.catalog = catalog or Catalog()
+        if plan_cache is Database._DEFAULT_CACHE:
+            plan_cache = PlanCache()
+        self.plan_cache = plan_cache
 
     def snapshot(self) -> "Database":
         """A read-only Database pinned to the catalog's current version.
@@ -145,8 +175,32 @@ class Database:
         (copy-on-write versioning; see
         :meth:`repro.storage.catalog.Catalog.snapshot`). DDL and inserts
         on the snapshot raise :class:`~repro.errors.CatalogError`.
+
+        The snapshot *shares* this database's plan cache: entries are
+        keyed by catalog version, so a snapshot pinned at version V only
+        ever sees plans built against V, and plans it builds are reused
+        by every other snapshot at the same version.
         """
-        return Database(self.catalog.snapshot())
+        return Database(self.catalog.snapshot(), plan_cache=self.plan_cache)
+
+    def prepare(self, text: str) -> "Prepared":
+        """Parse + normalize once, execute many times.
+
+        Two flavors of parameterization:
+
+        * Explicit markers — ``db.prepare("... where p_size < $1")`` —
+          require a full ``params`` vector on every
+          :meth:`Prepared.execute`.
+        * Automatic extraction — prepare any literal query and the
+          normalizer lifts its literals into parameters, in left-to-right
+          order; ``execute()`` with no arguments re-runs the original
+          literals, ``execute([...])`` rebinds them.
+
+        Execution goes through the shared plan cache, so repeated
+        executions (and plain ``db.sql`` calls of the same query shape)
+        skip bind + optimize after the first.
+        """
+        return Prepared(self, text)
 
     # ------------------------------------------------------------------
     # DDL-ish
@@ -199,6 +253,8 @@ class Database:
         max_rows: int | None = None,
         governor: Governor | None = None,
         engine: str | None = None,
+        params: Sequence[Any] | None = None,
+        use_plan_cache: bool | None = None,
     ) -> QueryResult | Explanation:
         """Run SQL text end to end and materialize the result.
 
@@ -228,22 +284,198 @@ class Database:
         queries with ``collect_metrics``/``trace`` return a
         :class:`QueryResult` whose ``metrics``/``trace`` fields carry the
         per-operator registry and the span tracer.
+
+        ``params`` binds the values for explicit ``$1``/``$2`` parameter
+        markers in the text (positional, ``$1`` first). Optimized runs
+        consult the per-database plan cache (see
+        :mod:`repro.optimizer.plancache`) keyed by normalized query
+        shape; ``use_plan_cache=False`` opts a single call out, and
+        ``use_plan_cache=True`` demands the cache (an error when this
+        database was built with ``plan_cache=None``).
         """
         statement = parse_statement(text)
+        return self._run_statement(
+            statement, text, params=params, use_plan_cache=use_plan_cache,
+            optimize=optimize, planner_options=planner_options,
+            parallelism=parallelism, backend=backend, explain=explain,
+            collect_metrics=collect_metrics, trace=trace, timeout=timeout,
+            memory_budget=memory_budget, max_rows=max_rows,
+            governor=governor, engine=engine,
+        )
+
+    def _run_statement(
+        self,
+        statement: "AstQuery | AstExplain",
+        text: str,
+        *,
+        params: Sequence[Any] | None,
+        use_plan_cache: bool | None,
+        optimize: bool,
+        planner_options: PlannerOptions | None,
+        parallelism: int | None,
+        backend: str | None,
+        explain: bool | str | None,
+        collect_metrics: bool,
+        trace: bool,
+        timeout: float | None,
+        memory_budget: int | None,
+        max_rows: int | None,
+        governor: Governor | None,
+        engine: str | None,
+    ) -> QueryResult | Explanation:
+        """Shared execution path behind :meth:`sql` and :class:`Prepared`."""
         query = statement
         if isinstance(statement, AstExplain):
             query = statement.query
             explain = "analyze" if statement.analyze else (explain or True)
         try:
-            logical = Binder(self.catalog).bind(query)
+            marker_count = count_parameters(query)
         except ReproError as error:
             raise error.add_context(sql=text)
-        return self.execute(
-            logical, optimize, planner_options, parallelism, backend,
+        values: tuple[Any, ...] = ()
+        param_query: AstQuery | None = None
+        if marker_count:
+            if params is None:
+                raise BindError(
+                    f"query has {marker_count} parameter marker(s); pass "
+                    "params=[...] or use Database.prepare()"
+                ).add_context(sql=text)
+            if len(params) != marker_count:
+                raise BindError(
+                    f"query has {marker_count} parameter marker(s) but "
+                    f"{len(params)} value(s) were bound"
+                ).add_context(sql=text)
+            values = tuple(params)
+            param_query = seed_parameters(query, values)
+        elif params is not None:
+            raise BindError(
+                "params were given but the query has no $N parameter markers"
+            ).add_context(sql=text)
+
+        cache = self.plan_cache
+        if use_plan_cache and cache is None:
+            raise PlanError(
+                "use_plan_cache=True but this Database was built with "
+                "plan_cache=None"
+            )
+        cache_eligible = optimize and use_plan_cache is not False
+        if cache is None or not cache_eligible:
+            if cache is not None:
+                cache.record_bypass()
+            if marker_count:
+                query = bind_ast_parameters(query, values)
+            try:
+                logical = Binder(self.catalog).bind(query)
+            except ReproError as error:
+                raise error.add_context(sql=text)
+            return self.execute(
+                logical, optimize, planner_options, parallelism, backend,
+                explain, collect_metrics, trace, sql_text=text,
+                timeout=timeout, memory_budget=memory_budget,
+                max_rows=max_rows, governor=governor, engine=engine,
+            )
+
+        if param_query is None:
+            param_query, values = parameterize(query)
+        resolved = _with_engine_knob(
+            _with_parallel_knobs(planner_options, parallelism, backend),
+            engine,
+        )
+        key = PlanKey(
+            digest=text_digest(print_statement(param_query)),
+            type_tags=type_signature(values),
+            catalog_version=self.catalog.version,
+            options_tag=options_tag(resolved),
+        )
+        entry = cache.lookup(key)
+        source = "hit"
+        if entry is None:
+            source = "miss"
+            entry = cache.store(
+                self._build_cache_entry(key, param_query, values, resolved, text)
+            )
+        info: dict[str, Any] = {
+            "source": source,
+            "params": len(values),
+            "key": key.digest[:12],
+        }
+        logical = substitute_parameters(entry.template, values)
+        # The report the caller sees describes *this* execution: same
+        # provenance (costs, rule trace — identical by seed-parity), but
+        # ``best`` is the substituted plan, not the marker template.
+        report = replace(entry.report, best=logical)
+        result = self.execute(
+            logical, False, planner_options, parallelism, backend,
             explain, collect_metrics, trace, sql_text=text,
             timeout=timeout, memory_budget=memory_budget, max_rows=max_rows,
             governor=governor, engine=engine,
+            _cached_report=report, _plan_cache_info=info,
         )
+        rows = result.rows if isinstance(result, QueryResult) else (
+            result.rows if result.analyze else None
+        )
+        if rows is not None and cache.record_execution(entry, len(rows)):
+            if self._replan_entry(cache, entry, values, resolved, text):
+                info["replanned"] = True
+        return result
+
+    def _build_cache_entry(
+        self,
+        key: PlanKey,
+        param_query: AstQuery,
+        values: tuple[Any, ...],
+        resolved: PlannerOptions | None,
+        text: str,
+    ) -> CachedPlan:
+        try:
+            bound = Binder(self.catalog).bind(param_query)
+            report = self._optimizer(resolved).optimize(bound)
+        except ReproError as error:
+            raise error.add_context(sql=text)
+        return CachedPlan(
+            key=key,
+            statement=param_query,
+            template=report.best,
+            report=report,
+            param_count=len(values),
+            est_rows=report.best_estimate.rows,
+            qerror_threshold=self.plan_cache.qerror_threshold,
+        )
+
+    def _replan_entry(
+        self,
+        cache: PlanCache,
+        entry: CachedPlan,
+        values: tuple[Any, ...],
+        resolved: PlannerOptions | None,
+        text: str,
+    ) -> bool:
+        """Re-optimize a drifted entry with current params as seeds.
+
+        Best-effort: the query that triggered the drift already returned
+        correct rows, so a failing re-plan is recorded and swallowed
+        rather than surfaced.
+        """
+        reseeded = seed_parameters(entry.statement, values)
+        try:
+            bound = Binder(self.catalog).bind(reseeded)
+            report = self._optimizer(resolved).optimize(bound)
+        except ReproError:
+            cache.counters.inc("replan_failures")
+            return False
+        cache.replace(
+            entry,
+            CachedPlan(
+                key=entry.key,
+                statement=reseeded,
+                template=report.best,
+                report=report,
+                param_count=entry.param_count,
+                est_rows=report.best_estimate.rows,
+                qerror_threshold=cache.qerror_threshold,
+            ),
+        )
+        return True
 
     def execute(
         self,
@@ -261,6 +493,8 @@ class Database:
         max_rows: int | None = None,
         governor: Governor | None = None,
         engine: str | None = None,
+        _cached_report: OptimizationReport | None = None,
+        _plan_cache_info: dict[str, Any] | None = None,
     ) -> QueryResult | Explanation:
         """Optimize (optionally), lower, and run a logical plan.
 
@@ -315,7 +549,7 @@ class Database:
             planner_options = replace(
                 planner_options or PlannerOptions(), collect_estimates=True
             )
-        report: OptimizationReport | None = None
+        report: OptimizationReport | None = _cached_report
         chosen = logical
         try:
             if optimize:
@@ -327,7 +561,7 @@ class Database:
         if explain in (True, "plan"):
             return Explanation(
                 sql=sql_text, analyze=False, physical_plan=physical,
-                report=report,
+                report=report, plan_cache=_plan_cache_info,
             )
         analyze = explain == "analyze"
         registry = tracer = None
@@ -368,6 +602,7 @@ class Database:
                 sql=sql_text, analyze=True, physical_plan=physical,
                 report=report, registry=registry, tracer=tracer,
                 rows=rows, schema=physical.schema, counters=ctx.counters,
+                plan_cache=_plan_cache_info,
             )
         return QueryResult(
             schema=physical.schema,
@@ -379,6 +614,7 @@ class Database:
             metrics=registry,
             trace=tracer,
             engine=chosen_engine,
+            plan_cache=_plan_cache_info,
         )
 
     def _optimizer(self, planner_options: PlannerOptions | None) -> Optimizer:
@@ -412,3 +648,81 @@ class Database:
             )
             return header + report.best.pretty()
         return logical.pretty()
+
+
+class Prepared:
+    """A statement parsed and normalized once, executable many times.
+
+    Built by :meth:`Database.prepare`. Two parameterization modes:
+
+    * The text contains explicit ``$N`` markers: every ``execute`` call
+      must bind a full ``params`` vector (``$1`` is ``params[0]``).
+    * The text is a plain literal query: the normalizer extracts its
+      literals into parameters in left-to-right order; ``execute()``
+      re-runs the original literal values, ``execute(params)`` rebinds
+      them positionally.
+
+    Executions share the database's plan cache, so after the first run
+    the per-call cost is parse-free *and* optimize-free: substitute the
+    parameter vector into the cached optimized plan, lower, run.
+    """
+
+    def __init__(self, database: Database, text: str):
+        self.database = database
+        self.text = text
+        statement = parse_statement(text)
+        query = statement.query if isinstance(statement, AstExplain) else statement
+        try:
+            explicit = count_parameters(query)
+        except ReproError as error:
+            raise error.add_context(sql=text)
+        if explicit:
+            self._statement = statement
+            self._defaults: tuple[Any, ...] | None = None
+            self.parameter_count = explicit
+        else:
+            self._statement, values = parameterize(statement)
+            self._defaults = values
+            self.parameter_count = len(values)
+
+    def execute(
+        self, params: Sequence[Any] | None = None, **kwargs: Any
+    ) -> QueryResult | Explanation:
+        """Run with ``params`` bound to the slots (see class docstring).
+
+        ``**kwargs`` pass through to :meth:`Database.sql` (``explain``,
+        ``engine``, budgets, ...).
+        """
+        if params is None:
+            if self._defaults is None and self.parameter_count:
+                raise BindError(
+                    f"prepared statement has {self.parameter_count} "
+                    "parameter marker(s); execute() requires params"
+                ).add_context(sql=self.text)
+            values = self._defaults or ()
+        else:
+            if len(params) != self.parameter_count:
+                raise BindError(
+                    f"prepared statement takes {self.parameter_count} "
+                    f"parameter(s), got {len(params)}"
+                ).add_context(sql=self.text)
+            values = tuple(params)
+        return self.database._run_statement(
+            self._statement,
+            self.text,
+            params=values if self.parameter_count else None,
+            use_plan_cache=kwargs.pop("use_plan_cache", None),
+            optimize=kwargs.pop("optimize", True),
+            planner_options=kwargs.pop("planner_options", None),
+            parallelism=kwargs.pop("parallelism", None),
+            backend=kwargs.pop("backend", None),
+            explain=kwargs.pop("explain", None),
+            collect_metrics=kwargs.pop("collect_metrics", False),
+            trace=kwargs.pop("trace", False),
+            timeout=kwargs.pop("timeout", None),
+            memory_budget=kwargs.pop("memory_budget", None),
+            max_rows=kwargs.pop("max_rows", None),
+            governor=kwargs.pop("governor", None),
+            engine=kwargs.pop("engine", None),
+            **kwargs,
+        )

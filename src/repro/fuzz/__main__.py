@@ -12,7 +12,12 @@ import argparse
 import sys
 import time
 
-from repro.fuzz.planspace import ENGINE_PROFILE, FULL_PROFILE, QUICK_PROFILE
+from repro.fuzz.planspace import (
+    ENGINE_PROFILE,
+    FULL_PROFILE,
+    PLANCACHE_PROFILE,
+    QUICK_PROFILE,
+)
 from repro.fuzz.runner import run_fuzz
 
 
@@ -25,11 +30,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=500, help="number of cases")
     parser.add_argument(
         "--profile",
-        choices=[QUICK_PROFILE, FULL_PROFILE, ENGINE_PROFILE],
+        choices=[QUICK_PROFILE, FULL_PROFILE, ENGINE_PROFILE, PLANCACHE_PROFILE],
         default=FULL_PROFILE,
         help="planner-configuration coverage (default full); 'engine' runs "
         "the Volcano-vs-vector differential across batch sizes and plan "
-        "shapes",
+        "shapes; 'plancache' runs every case cold, hot, and "
+        "re-parameterized through the plan cache against an uncached twin",
     )
     parser.add_argument(
         "--corpus-dir",
@@ -58,6 +64,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.chaos:
         return _chaos_main(args)
+    if args.profile == PLANCACHE_PROFILE:
+        return _plancache_main(args)
     start = time.perf_counter()
     report = run_fuzz(
         seed=args.seed,
@@ -69,6 +77,35 @@ def main(argv: list[str] | None = None) -> int:
         progress=lambda message: print(message, flush=True),
     )
     elapsed = time.perf_counter() - start
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s")
+    return 0 if report.ok else 1
+
+
+def _plancache_main(args) -> int:
+    from repro.fuzz.plancache import run_plancache_fuzz
+
+    start = time.perf_counter()
+    report = run_plancache_fuzz(
+        seed=args.seed,
+        n=args.n,
+        stop_after=args.stop_after,
+        progress=lambda message: print(message, flush=True),
+    )
+    elapsed = time.perf_counter() - start
+    if report.failures and args.corpus_dir:
+        import json
+        from pathlib import Path
+
+        directory = Path(args.corpus_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "plancache-failures.json"
+        path.write_text(
+            json.dumps(
+                [failure.describe() for failure in report.failures], indent=2
+            )
+        )
+        print(f"failing plan-cache cases written to {path}")
     print(report.summary())
     print(f"elapsed: {elapsed:.1f}s")
     return 0 if report.ok else 1

@@ -125,6 +125,9 @@ FULL_PROFILE = "full"
 QUICK_PROFILE = "quick"
 #: Volcano-vs-vector differential across batch sizes and plan shapes.
 ENGINE_PROFILE = "engine"
+#: Cold/hot/re-parameterized plan-cache differential (dispatched to
+#: :func:`repro.fuzz.plancache.run_plancache_fuzz`, not to plan configs).
+PLANCACHE_PROFILE = "plancache"
 
 
 def profile_configurations(profile: str) -> list[PlanConfig]:

@@ -63,6 +63,9 @@ class Explanation:
     rows: list | None = None
     schema: "Schema | None" = None
     counters: "Counters | None" = None
+    #: Plan-cache outcome (source "hit"/"miss", key digest, param count)
+    #: when the run went through the plan cache; None when it bypassed.
+    plan_cache: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # Text rendering
@@ -78,9 +81,22 @@ class Explanation:
     __str__ = render
 
     def _header_lines(self) -> list[str]:
+        # The cache line only names source and parameter count — both
+        # deterministic for a given query on a fresh database — so golden
+        # snapshots stay byte-stable.
+        cache_lines = []
+        if self.plan_cache is not None:
+            count = self.plan_cache.get("params", 0)
+            cache_lines.append(
+                "-- plan cache: {} ({} param{})".format(
+                    self.plan_cache.get("source", "?"),
+                    count,
+                    "" if count == 1 else "s",
+                )
+            )
         report = self.report
         if report is None:
-            return ["-- optimizer: off"]
+            return ["-- optimizer: off"] + cache_lines
         lines = [
             "-- cost: {:.0f} (unoptimized {:.0f}); explored {} plan{}{}".format(
                 report.best_estimate.cost,
@@ -100,7 +116,7 @@ class Explanation:
                     for f in active
                 )
             )
-        return lines
+        return lines + cache_lines
 
     def _metrics_by_path(self) -> dict[str, dict]:
         if self.registry is None:
@@ -161,6 +177,8 @@ class Explanation:
                 "fired": list(report.fired),
                 "rule_trace": [f.to_dict() for f in report.rule_trace],
             }
+        if self.plan_cache is not None:
+            document["plan_cache"] = dict(self.plan_cache)
         if self.counters is not None:
             document["work"] = self.counters.snapshot()
         if self.tracer is not None:

@@ -557,6 +557,11 @@ class Service:
             slots_free=self.admission.slots_free(),
             catalog_version=self.database.catalog.version,
         )
+        # The cache is shared between the live database and every pinned
+        # snapshot (entries are keyed by catalog version), so one stats
+        # block covers all reader snapshots.
+        if self.database.plan_cache is not None:
+            data["plan_cache"] = self.database.plan_cache.stats()
         return data
 
     def health(self) -> dict[str, Any]:

@@ -9,7 +9,7 @@ contain *subqueries*, which the binder decorrelates into
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import BindError
@@ -38,6 +38,23 @@ class AstColumn(AstExpression):
 @dataclass(frozen=True)
 class AstLiteral(AstExpression):
     value: Any
+
+
+@dataclass(frozen=True)
+class AstParameter(AstExpression):
+    """A positional parameter marker, printed as ``$<index+1>``.
+
+    Produced two ways: written explicitly in prepared-statement text
+    (``where p_size < $1``), or synthesized by the plan-cache normalizer
+    (:mod:`repro.sql.normalize`), which extracts literals into markers so
+    queries differing only in literal values share one cache key. ``seed``
+    carries the literal value the marker replaced — the optimizer plans
+    against it — and is excluded from equality so two parameterizations of
+    the same shape compare (and hash) identically.
+    """
+
+    index: int  # 0-based slot into the parameter vector
+    seed: Any = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from repro.algebra.expressions import (
     And,
     Arithmetic,
     ArithmeticOp,
+    BindParameter,
     CaseWhen,
     ColumnRef,
     Comparison,
@@ -926,6 +927,10 @@ class Binder:
             return scope.resolve(node.name)
         if isinstance(node, A.AstLiteral):
             return Literal(node.value)
+        if isinstance(node, A.AstParameter):
+            # Seed-valued so the optimizer costs the template exactly as
+            # it would the original literal query (see BindParameter).
+            return BindParameter(node.seed, node.index)
         if isinstance(node, A.AstUnary):
             operand = self._bind_scalar(node.operand, scope, relations)
             return Not(operand) if node.op == "not" else Negate(operand)

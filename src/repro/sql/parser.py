@@ -49,6 +49,7 @@ from repro.sql.ast import (
     AstJoin,
     AstLiteral,
     AstNode,
+    AstParameter,
     AstQuery,
     AstScalarSubquery,
     AstSelect,
@@ -416,11 +417,24 @@ class Parser:
             self.expect_symbol(")")
             return inner
         if token.type is TokenType.IDENT:
+            if token.value.startswith("$"):
+                return self._parameter()
             # Function call or column reference.
             if self.tokens[self.position + 1].is_symbol("("):
                 return self._function_call()
             return AstColumn(self._qualified_name())
         raise self.error("expected expression")
+
+    def _parameter(self) -> AstExpression:
+        # The lexer treats '$' as an identifier character, so `$3` arrives
+        # as one IDENT token. Only `$<positive integer>` is a marker.
+        text = self.advance().value
+        digits = text[1:]
+        if not digits.isdigit() or int(digits) < 1:
+            raise self.error(
+                f"invalid parameter marker {text!r}; use $1, $2, ..."
+            )
+        return AstParameter(int(digits) - 1)
 
     def _case(self) -> AstExpression:
         self.expect_keyword("case")

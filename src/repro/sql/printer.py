@@ -124,6 +124,9 @@ def print_expression(node: A.AstExpression) -> str:
         return node.name
     if isinstance(node, A.AstLiteral):
         return print_literal(node.value)
+    if isinstance(node, A.AstParameter):
+        # 1-based on the wire, matching prepared-statement convention.
+        return f"${node.index + 1}"
     if isinstance(node, A.AstStar):
         return "*"
     if isinstance(node, A.AstUnary):

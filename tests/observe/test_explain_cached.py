@@ -1,0 +1,86 @@
+"""EXPLAIN output for cache-served plans.
+
+The regression this file pins down: ``explain="analyze"`` on a cache
+*hit* must report actuals from **this** execution — the hit replays the
+cached logical template, but lowering, metrics registries, and counters
+are built fresh per call, so the actual cardinalities and timings can
+never be stale copies of the entry-building run.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.api import Database
+
+
+QUERY = (
+    "select gapply(select p_name, p_retailprice from g "
+    "where p_retailprice > 1000.0) as (name, price) "
+    "from partsupp, part where ps_partkey = p_partkey "
+    "group by ps_suppkey : g"
+)
+
+
+def actual_annotations(rendered: str) -> list[str]:
+    return re.findall(r"actual=[\w.]+", rendered)
+
+
+class TestAnalyzeOnCachedPlan:
+    def test_hit_reports_fresh_actuals(self, tpch_catalog):
+        db = Database(tpch_catalog)
+        cold = db.sql(QUERY, explain="analyze")
+        hot = db.sql(QUERY, explain="analyze")
+
+        assert cold.plan_cache["source"] == "miss"
+        assert hot.plan_cache["source"] == "hit"
+
+        # The hit ran for real: rows/counters/registry are this
+        # execution's objects, not the cold run's.
+        assert hot.rows is not None and hot.rows == cold.rows
+        assert hot.registry is not None
+        assert hot.registry is not cold.registry
+        assert hot.counters is not cold.counters
+        assert hot.counters.snapshot() == cold.counters.snapshot()
+
+        # Rendered actuals are present on the hit and identical to the
+        # cold run's (same data, same plan — different execution).
+        cold_actuals = actual_annotations(cold.render())
+        hot_actuals = actual_annotations(hot.render())
+        assert hot_actuals, "ANALYZE on a hit lost its actual= annotations"
+        assert hot_actuals == cold_actuals
+
+    def test_header_and_json_carry_cache_source(self, tpch_catalog):
+        db = Database(tpch_catalog)
+        db.sql(QUERY)
+        hot = db.sql(QUERY, explain=True)
+        assert "-- plan cache: hit" in hot.render()
+        document = hot.to_json()
+        assert document["plan_cache"]["source"] == "hit"
+        assert document["plan_cache"]["params"] == 1
+
+    def test_analyze_after_data_change_reports_new_actuals(self):
+        """Data mutations bump the catalog version, so the re-planned
+        (missed) entry's ANALYZE must show the new cardinalities."""
+        from repro.storage import DataType
+
+        db = Database()
+        db.create_table(
+            "t",
+            [("id", DataType.INTEGER), ("v", DataType.FLOAT)],
+            [(i, float(i)) for i in range(10)],
+            primary_key=["id"],
+        )
+        sql = "select id from t where v >= 0.0"
+        first = db.sql(sql, explain="analyze")
+        assert len(first.rows) == 10
+        db.catalog.insert_rows("t", [(100 + i, float(i)) for i in range(5)])
+        second = db.sql(sql, explain="analyze")
+        assert second.plan_cache["source"] == "miss"  # version bumped
+        assert len(second.rows) == 15
+        third = db.sql(sql, explain="analyze")
+        assert third.plan_cache["source"] == "hit"
+        assert len(third.rows) == 15
+        assert actual_annotations(third.render()) == actual_annotations(
+            second.render()
+        )
