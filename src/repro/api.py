@@ -14,7 +14,7 @@ executor. This is what the examples and benchmarks use::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.algebra.operators import LogicalOperator
 from repro.errors import BindError, PlanError, ReproError
@@ -57,6 +57,9 @@ from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 from repro.storage.table import Table, table_from_rows
 from repro.storage.types import DataType
+from repro.xmlpub.stream import DEFAULT_CHUNK_BYTES, XmlChunkStream
+from repro.xmlpub.translate import Translator
+from repro.xmlpub.view import XmlView
 
 
 @dataclass
@@ -140,6 +143,115 @@ def _with_engine_knob(
             f"unknown execution engine {engine!r}; use one of {ENGINES}"
         )
     return replace(options or PlannerOptions(), engine=engine)
+
+
+def _resolve_governor(
+    governor: Governor | None,
+    timeout: float | None,
+    memory_budget: int | None,
+    max_rows: int | None,
+    sql_text: str | None,
+) -> Governor | None:
+    """One governor per run: from the budget knobs, or prebuilt, not both."""
+    knobs = (
+        timeout is not None
+        or memory_budget is not None
+        or max_rows is not None
+    )
+    if governor is not None and knobs:
+        raise PlanError(
+            "pass either a prebuilt governor or budget knobs, not both"
+        )
+    if governor is None and knobs:
+        governor = Governor(
+            Budget(
+                timeout=timeout,
+                memory_cells=memory_budget,
+                max_rows=max_rows,
+            ),
+            sql=sql_text,
+        )
+    return governor
+
+
+def _governed_rows(
+    row_source: Iterator[tuple],
+    governor: Governor | None,
+    sql_text: str | None,
+) -> Iterator[tuple]:
+    """The lazy row loop behind :meth:`Database.execute_stream`.
+
+    Mirrors the materializing loop in :meth:`Database.execute`: enforce
+    ``max_rows`` at the root and make sure every engine error leaves
+    carrying the SQL it happened in. The finally clause closes the
+    operator tree even when the consumer abandons the stream mid-flight
+    (GeneratorExit travels through ``yield``).
+    """
+    try:
+        if governor is None:
+            yield from row_source
+        else:
+            for row in row_source:
+                governor.tick_output(1)
+                yield row
+    except ReproError as error:
+        raise error.add_context(sql=sql_text)
+    finally:
+        close = getattr(row_source, "close", None)
+        if close is not None:
+            close()
+
+
+class RowStream:
+    """A lazily executed query result: plan now, rows on demand.
+
+    Built by :meth:`Database.execute_stream`. Planning (bind validation,
+    optimization, lowering, vector compilation) happens eagerly inside
+    ``execute_stream`` so plan-shape errors surface at call time; row
+    production is pulled through this iterator one row at a time — no
+    intermediate list anywhere, which is what lets the streaming XML
+    publisher hold documents larger than memory.
+
+    ``close()`` tears down the underlying operator tree (releasing
+    generator-held resources such as GApply spill files); it is idempotent
+    and also runs when the stream is used as a context manager or its
+    consumer abandons it.
+    """
+
+    def __init__(
+        self,
+        rows: Iterator[tuple],
+        schema: Schema,
+        logical_plan: LogicalOperator,
+        physical_plan: PhysicalOperator,
+        counters: Counters,
+        engine: str,
+        governor: Governor | None = None,
+    ):
+        self._rows = rows
+        self.schema = schema
+        self.logical_plan = logical_plan
+        self.physical_plan = physical_plan
+        self.counters = counters
+        self.engine = engine
+        self.governor = governor
+
+    def __iter__(self) -> "RowStream":
+        return self
+
+    def __next__(self) -> tuple:
+        return next(self._rows)
+
+    def close(self) -> None:
+        close = getattr(self._rows, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "RowStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class Database:
@@ -511,27 +623,9 @@ class Database:
             raise PlanError(
                 f"explain must be True, 'plan' or 'analyze', got {explain!r}"
             )
-        if governor is not None and (
-            timeout is not None
-            or memory_budget is not None
-            or max_rows is not None
-        ):
-            raise PlanError(
-                "pass either a prebuilt governor or budget knobs, not both"
-            )
-        if governor is None and (
-            timeout is not None
-            or memory_budget is not None
-            or max_rows is not None
-        ):
-            governor = Governor(
-                Budget(
-                    timeout=timeout,
-                    memory_cells=memory_budget,
-                    max_rows=max_rows,
-                ),
-                sql=sql_text,
-            )
+        governor = _resolve_governor(
+            governor, timeout, memory_budget, max_rows, sql_text
+        )
         planner_options = _with_engine_knob(
             _with_parallel_knobs(planner_options, parallelism, backend),
             engine,
@@ -615,6 +709,146 @@ class Database:
             trace=tracer,
             engine=chosen_engine,
             plan_cache=_plan_cache_info,
+        )
+
+    def execute_stream(
+        self,
+        logical: LogicalOperator,
+        optimize: bool = True,
+        planner_options: PlannerOptions | None = None,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        sql_text: str | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        max_rows: int | None = None,
+        governor: Governor | None = None,
+        engine: str | None = None,
+    ) -> RowStream:
+        """Optimize, lower, and run a logical plan *lazily*.
+
+        The streaming sibling of :meth:`execute`: identical knobs and
+        identical rows (both engines), but returns a :class:`RowStream`
+        that pulls rows from the operator tree on demand instead of
+        materializing a list. Planning is eager — plan-shape errors raise
+        here — while execution errors (budget violations, cancellation)
+        surface from the iterator, carrying the SQL text as context.
+
+        The ``max_rows`` budget is enforced at the root as rows flow, same
+        as :meth:`execute`.
+        """
+        governor = _resolve_governor(
+            governor, timeout, memory_budget, max_rows, sql_text
+        )
+        planner_options = _with_engine_knob(
+            _with_parallel_knobs(planner_options, parallelism, backend),
+            engine,
+        )
+        chosen_engine = (
+            VOLCANO_ENGINE if planner_options is None else planner_options.engine
+        )
+        if chosen_engine not in ENGINES:
+            raise PlanError(
+                f"unknown execution engine {chosen_engine!r}; "
+                f"use one of {ENGINES}"
+            )
+        report: OptimizationReport | None = None
+        chosen = logical
+        try:
+            if optimize:
+                report = self._optimizer(planner_options).optimize(logical)
+                chosen = report.best
+            physical = Planner(self.catalog, planner_options).plan(chosen)
+        except ReproError as error:
+            raise error.add_context(sql=sql_text)
+        ctx = ExecutionContext(governor=governor)
+        try:
+            if chosen_engine == VECTOR_ENGINE:
+                vector_plan = compile_plan(
+                    physical, batch_size=planner_options.vector_batch_size
+                )
+                row_source = vector_plan.rows(ctx)
+            else:
+                row_source = physical.execute(ctx)
+        except ReproError as error:
+            raise error.add_context(sql=sql_text)
+        return RowStream(
+            _governed_rows(row_source, governor, sql_text),
+            schema=physical.schema,
+            logical_plan=chosen,
+            physical_plan=physical,
+            counters=ctx.counters,
+            engine=chosen_engine,
+            governor=governor,
+        )
+
+    def publish(
+        self,
+        view: XmlView,
+        query: str,
+        formulation: str = "gapply",
+        *,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        encoding: str = "utf-8",
+        optimize: bool = True,
+        planner_options: PlannerOptions | None = None,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        engine: str | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        max_rows: int | None = None,
+        governor: Governor | None = None,
+    ) -> XmlChunkStream:
+        """Publish an XQuery over an XML view as a streamed document.
+
+        The paper's full pipeline, constant-memory end to end: translate
+        the FLWR ``query`` against ``view``
+        (:class:`~repro.xmlpub.translate.Translator`), execute the chosen
+        SQL ``formulation`` (``"gapply"``, the default, or ``"union"`` for
+        the sorted outer union) through :meth:`execute_stream`, and feed
+        the clustered rows to the constant-space tagger, yielding encoded
+        XML chunks of roughly ``chunk_bytes`` each.
+
+        One governor covers the whole publish: query execution *and* the
+        XML chunk buffer draw on the same ``memory_budget``, emitted bytes
+        are tallied on ``governor.emitted_bytes``, and cancelling it stops
+        the stream within one chunk. Note the constant-memory guarantee
+        under a tight budget holds for the ``"gapply"`` formulation (its
+        partition phase spills to disk); the ``"union"`` formulation's
+        ORDER BY buffers the full result and raises
+        :class:`~repro.errors.MemoryBudgetExceeded` when it does not fit.
+
+        Returns an :class:`~repro.xmlpub.stream.XmlChunkStream` — iterate
+        it, ``read_all()`` it, or ``close()`` it early; abandoning it
+        mid-document releases operator state and spill files.
+        """
+        translated = Translator(view, self.catalog).translate(query)
+        sql_text = translated.sql_for(formulation)
+        governor = _resolve_governor(
+            governor, timeout, memory_budget, max_rows, sql_text
+        )
+        try:
+            logical = Binder(self.catalog).bind(parse(sql_text))
+        except ReproError as error:
+            raise error.add_context(sql=sql_text)
+        rows = self.execute_stream(
+            logical,
+            optimize=optimize,
+            planner_options=planner_options,
+            parallelism=parallelism,
+            backend=backend,
+            sql_text=sql_text,
+            governor=governor,
+            engine=engine,
+        )
+        return XmlChunkStream(
+            rows,
+            translated.spec,
+            chunk_bytes=chunk_bytes,
+            encoding=encoding,
+            governor=governor,
+            sql=sql_text,
         )
 
     def _optimizer(self, planner_options: PlannerOptions | None) -> Optimizer:

@@ -65,7 +65,7 @@ import operator
 import warnings
 from typing import Iterable, Iterator, Sequence
 
-from repro.errors import PlanError
+from repro.errors import MemoryBudgetExceeded, PlanError
 from repro.execution.base import PhysicalOperator
 from repro.execution.context import ExecutionContext
 from repro.execution.parallel import (
@@ -256,6 +256,20 @@ class PGApply(PhysicalOperator):
         total = 0
         spill_runs = spilled_rows = 0
         spill = SpillFile(self.spill_dir)
+
+        def flush_wave() -> None:
+            nonlocal resident_cells, resident_rows, spill_runs, spilled_rows
+            for entry in directory.values():
+                offsets, rows = entry[1], entry[2]
+                for resident in rows:
+                    offsets.append(spill.append(resident))
+                spilled_rows += len(rows)
+                rows.clear()
+            spill_runs += 1
+            if governor is not None:
+                governor.release_cells(resident_cells)
+            resident_cells = resident_rows = 0
+
         try:
             for row in self.outer.execute(ctx):
                 key_values = key_getter(row)
@@ -266,16 +280,19 @@ class PGApply(PhysicalOperator):
                 buffered = _buffer_row(row)
                 width = len(buffered)
                 if resident_cells and resident_cells + width > threshold:
-                    for entry in directory.values():
-                        offsets, rows = entry[1], entry[2]
-                        for resident in rows:
-                            offsets.append(spill.append(resident))
-                        spilled_rows += len(rows)
-                        rows.clear()
-                    spill_runs += 1
-                    if governor is not None:
-                        governor.release_cells(resident_cells)
-                    resident_cells = resident_rows = 0
+                    flush_wave()
+                if governor is not None:
+                    try:
+                        governor.charge_cells(width)
+                    except MemoryBudgetExceeded:
+                        # Same shared-budget retry as the sort path: a
+                        # concurrent holder ate the headroom; free our
+                        # resident rows before declaring the cap too
+                        # small.
+                        if not resident_cells:
+                            raise
+                        flush_wave()
+                        governor.charge_cells(width)
                 entry = directory.get(key)
                 if entry is None:
                     entry = [key_values, [], []]
@@ -285,8 +302,6 @@ class PGApply(PhysicalOperator):
                 resident_rows += 1
                 if resident_rows > peak_resident_rows:
                     peak_resident_rows = resident_rows
-                if governor is not None:
-                    governor.charge_cells(width)
             counters.peak_partition_rows = max(
                 counters.peak_partition_rows, peak_resident_rows
             )
@@ -330,6 +345,19 @@ class PGApply(PhysicalOperator):
         peak_resident_rows = 0
         total = 0
         spilled_rows = spill_bytes = 0
+        def flush_run() -> None:
+            nonlocal buffer, resident_cells, spilled_rows, spill_bytes
+            buffer.sort(key=sort_key)
+            counters.comparisons += len(buffer)
+            run = SpillRun(buffer, self.spill_dir)
+            runs.append(run)
+            spilled_rows += run.records
+            spill_bytes += run.bytes_written
+            if governor is not None:
+                governor.release_cells(resident_cells)
+            buffer = []
+            resident_cells = 0
+
         try:
             for row in self.outer.execute(ctx):
                 buffered = _buffer_row(row)
@@ -337,22 +365,25 @@ class PGApply(PhysicalOperator):
                 counters.buffered_cells += width
                 total += 1
                 if resident_cells and resident_cells + width > threshold:
-                    buffer.sort(key=sort_key)
-                    counters.comparisons += len(buffer)
-                    run = SpillRun(buffer, self.spill_dir)
-                    runs.append(run)
-                    spilled_rows += run.records
-                    spill_bytes += run.bytes_written
-                    if governor is not None:
-                        governor.release_cells(resident_cells)
-                    buffer = []
-                    resident_cells = 0
+                    flush_run()
+                if governor is not None:
+                    try:
+                        governor.charge_cells(width)
+                    except MemoryBudgetExceeded:
+                        # The budget is shared: concurrent holders (the
+                        # publisher's chunk buffer, sibling operators)
+                        # can consume the headroom the threshold assumed
+                        # was ours. Spill what we hold and retry; only a
+                        # retry failure means the cap is genuinely too
+                        # small.
+                        if not resident_cells:
+                            raise
+                        flush_run()
+                        governor.charge_cells(width)
                 buffer.append(buffered)
                 resident_cells += width
                 if len(buffer) > peak_resident_rows:
                     peak_resident_rows = len(buffer)
-                if governor is not None:
-                    governor.charge_cells(width)
             counters.peak_partition_rows = max(
                 counters.peak_partition_rows, peak_resident_rows
             )
@@ -423,11 +454,6 @@ class PGApply(PhysicalOperator):
         partitions: Iterable[tuple[tuple, list[Row]]],
         pre_counted: bool = False,
     ) -> Iterator[Row]:
-        counters = ctx.counters
-        per_group = self.per_group
-        variable = self.group_variable
-        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
-        tracer = ctx.tracer
         # One child context, rebound per group: each group's per-group plan
         # is fully drained before the next binding, so mutation is safe and
         # avoids a dict copy per group.
@@ -436,6 +462,33 @@ class PGApply(PhysicalOperator):
             ctx.counters, ctx.scalars, relations, ctx.metrics, ctx.tracer,
             ctx.governor,
         )
+        try:
+            yield from self._run_groups(
+                ctx, group_ctx, relations, partitions, pre_counted
+            )
+        finally:
+            # A mid-stream error (cancellation, budget) raised from a
+            # per-group plan leaves the suspended partition generator out
+            # of the unwinding call chain — pinned alive by the exception
+            # traceback, its finally (spill-file close, cell release)
+            # would never run. Close it explicitly on every exit path.
+            close = getattr(partitions, "close", None)
+            if close is not None:
+                close()
+
+    def _run_groups(
+        self,
+        ctx: ExecutionContext,
+        group_ctx: ExecutionContext,
+        relations: dict,
+        partitions: Iterable[tuple[tuple, list[Row]]],
+        pre_counted: bool,
+    ) -> Iterator[Row]:
+        counters = ctx.counters
+        per_group = self.per_group
+        variable = self.group_variable
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        tracer = ctx.tracer
         for key_values, group_rows in partitions:
             if not pre_counted:
                 counters.groups_partitioned += 1

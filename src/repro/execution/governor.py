@@ -114,6 +114,10 @@ class Governor:
         self.cells_in_use = 0
         self.peak_cells = 0
         self.output_rows = 0
+        #: Bytes of published output (XML chunks) emitted under this
+        #: governor; charged by the streaming publisher
+        #: (:mod:`repro.xmlpub.stream`) per flushed chunk.
+        self.emitted_bytes = 0
         #: Set by :meth:`mark_admitted` when a service admission queue sat
         #: between construction and execution; lets timeout errors split
         #: elapsed time into queued vs executing.
@@ -192,18 +196,30 @@ class Governor:
     # ------------------------------------------------------------------
 
     def charge_cells(self, n: int) -> None:
-        """Account ``n`` newly buffered cells; raise if over budget."""
+        """Account ``n`` newly buffered cells; raise if over budget.
+
+        A rejected charge is not recorded: callers with something to
+        spill (GApply's partition phase) catch the error, free their
+        resident buffer, and retry — the failed attempt must not linger
+        in ``cells_in_use`` (the retry would double-charge) or in
+        ``peak_cells`` (the peak would report a state that never held
+        memory).
+        """
         with self._lock:
-            self.cells_in_use += n
-            if self.cells_in_use > self.peak_cells:
-                self.peak_cells = self.cells_in_use
-            over = (
+            total = self.cells_in_use + n
+            if (
                 self.budget.memory_cells is not None
-                and self.cells_in_use > self.budget.memory_cells
-            )
-        if over:
+                and total > self.budget.memory_cells
+            ):
+                over = total
+            else:
+                self.cells_in_use = total
+                if total > self.peak_cells:
+                    self.peak_cells = total
+                over = None
+        if over is not None:
             raise MemoryBudgetExceeded(
-                f"buffered {self.cells_in_use} cells, over the "
+                f"buffered {over} cells, over the "
                 f"{self.budget.memory_cells}-cell memory budget"
             ).add_context(sql=self.sql)
 
@@ -215,6 +231,17 @@ class Governor:
         """The cell count at which spill-capable operators should start
         spilling: the memory budget, if one is set."""
         return self.budget.memory_cells
+
+    def charge_emitted(self, n: int) -> None:
+        """Account ``n`` bytes of published output leaving the system.
+
+        Emitted bytes are *gone* — they do not stay buffered, so they are
+        not held against the memory budget. Charging still runs a
+        wall-clock/cancel check: a cancelled or expired publish stops at
+        its next chunk even when the row stride has not tripped yet.
+        """
+        self.emitted_bytes += n
+        self.check()
 
     # ------------------------------------------------------------------
     # Output-row budget (plan root only)

@@ -40,11 +40,24 @@ from repro.fuzz.oracle import (
 from repro.fuzz.planspace import (
     FULL_PROFILE,
     QUICK_PROFILE,
+    XMLPUB_PROFILE,
     plan_configurations,
     profile_configurations,
 )
 from repro.fuzz.runner import FuzzFailure, FuzzReport, run_case, run_fuzz
 from repro.fuzz.shrink import shrink_case
+from repro.fuzz.xmlpub import (
+    XmlPubCase,
+    XmlPubFailure,
+    XmlPubReport,
+    check_view_case,
+    check_case as check_xmlpub_case,
+    generate_xmlpub_case,
+    load_xmlpub_corpus,
+    run_xmlpub_fuzz,
+    save_xmlpub_case,
+    shrink_xmlpub_case,
+)
 
 __all__ = [
     "CorpusCase",
@@ -70,7 +83,18 @@ __all__ = [
     "run_chaos_case",
     "run_fuzz",
     "run_oracle",
+    "run_xmlpub_fuzz",
     "save_case",
+    "save_xmlpub_case",
     "shrink_case",
+    "shrink_xmlpub_case",
     "sqlite_mirror",
+    "check_view_case",
+    "check_xmlpub_case",
+    "generate_xmlpub_case",
+    "load_xmlpub_corpus",
+    "XMLPUB_PROFILE",
+    "XmlPubCase",
+    "XmlPubFailure",
+    "XmlPubReport",
 ]

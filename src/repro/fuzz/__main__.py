@@ -17,6 +17,7 @@ from repro.fuzz.planspace import (
     FULL_PROFILE,
     PLANCACHE_PROFILE,
     QUICK_PROFILE,
+    XMLPUB_PROFILE,
 )
 from repro.fuzz.runner import run_fuzz
 
@@ -30,12 +31,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=500, help="number of cases")
     parser.add_argument(
         "--profile",
-        choices=[QUICK_PROFILE, FULL_PROFILE, ENGINE_PROFILE, PLANCACHE_PROFILE],
+        choices=[
+            QUICK_PROFILE,
+            FULL_PROFILE,
+            ENGINE_PROFILE,
+            PLANCACHE_PROFILE,
+            XMLPUB_PROFILE,
+        ],
         default=FULL_PROFILE,
         help="planner-configuration coverage (default full); 'engine' runs "
         "the Volcano-vs-vector differential across batch sizes and plan "
         "shapes; 'plancache' runs every case cold, hot, and "
-        "re-parameterized through the plan cache against an uncached twin",
+        "re-parameterized through the plan cache against an uncached twin; "
+        "'xmlpub' runs the streamed-vs-materialized XML publishing "
+        "differential (random tagger specs plus end-to-end view cases)",
     )
     parser.add_argument(
         "--corpus-dir",
@@ -66,6 +75,8 @@ def main(argv: list[str] | None = None) -> int:
         return _chaos_main(args)
     if args.profile == PLANCACHE_PROFILE:
         return _plancache_main(args)
+    if args.profile == XMLPUB_PROFILE:
+        return _xmlpub_main(args)
     start = time.perf_counter()
     report = run_fuzz(
         seed=args.seed,
@@ -106,6 +117,24 @@ def _plancache_main(args) -> int:
             )
         )
         print(f"failing plan-cache cases written to {path}")
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s")
+    return 0 if report.ok else 1
+
+
+def _xmlpub_main(args) -> int:
+    from repro.fuzz.xmlpub import run_xmlpub_fuzz
+
+    start = time.perf_counter()
+    report = run_xmlpub_fuzz(
+        seed=args.seed,
+        n=args.n,
+        stop_after=args.stop_after,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        progress=lambda message: print(message, flush=True),
+    )
+    elapsed = time.perf_counter() - start
     print(report.summary())
     print(f"elapsed: {elapsed:.1f}s")
     return 0 if report.ok else 1

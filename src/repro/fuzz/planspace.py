@@ -128,6 +128,9 @@ ENGINE_PROFILE = "engine"
 #: Cold/hot/re-parameterized plan-cache differential (dispatched to
 #: :func:`repro.fuzz.plancache.run_plancache_fuzz`, not to plan configs).
 PLANCACHE_PROFILE = "plancache"
+#: Streamed-vs-materialized XML publishing differential (dispatched to
+#: :func:`repro.fuzz.xmlpub.run_xmlpub_fuzz`, not to plan configs).
+XMLPUB_PROFILE = "xmlpub"
 
 
 def profile_configurations(profile: str) -> list[PlanConfig]:

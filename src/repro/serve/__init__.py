@@ -65,6 +65,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.api import Database, QueryResult
 from repro.errors import (
+    QueryCancelled,
     ReproError,
     ServiceError,
     ServiceOverloaded,
@@ -72,6 +73,8 @@ from repro.errors import (
 )
 from repro.execution.governor import Budget, Governor
 from repro.observe.metrics import LockedCounters
+from repro.xmlpub.stream import DEFAULT_CHUNK_BYTES, XmlChunkStream
+from repro.xmlpub.view import XmlView
 
 #: How long a queued waiter sleeps between checks of its own deadline and
 #: cancellation state. Admission handoffs set the waiter's event directly,
@@ -367,6 +370,23 @@ class Session:
         self.queries.inc("queries")
         return result
 
+    def publish(
+        self, view: "XmlView", query: str, formulation: str = "gapply",
+        **kwargs: Any,
+    ) -> "XmlChunkStream":
+        self._check_open()
+        kwargs.setdefault("query_class", self.query_class)
+        kwargs.setdefault("priority", self.priority)
+        try:
+            stream = self.service.submit_publish(
+                view, query, formulation, client=self.client, **kwargs
+            )
+        except ReproError:
+            self.queries.inc("errors")
+            raise
+        self.queries.inc("publishes")
+        return stream
+
     def insert(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
         self._check_open()
         count = self.service.insert(table_name, rows)
@@ -417,6 +437,10 @@ class Service:
         self._state_lock = threading.Lock()
         self._drained = threading.Condition(self._state_lock)
         self._active: dict[int, Governor] = {}
+        #: In-flight publish streams, keyed like :attr:`_active`; shutdown
+        #: force-closes these after the cancel grace, because a stream
+        #: whose client simply stopped iterating never runs governor code.
+        self._active_streams: dict[int, XmlChunkStream] = {}
         self._query_ids = itertools.count()
         self._stopping = False
         self._shutdown_report: ShutdownReport | None = None
@@ -506,6 +530,130 @@ class Service:
                 self._drained.notify_all()
             self.admission.release()
 
+    def submit_publish(
+        self,
+        view: XmlView,
+        query: str,
+        formulation: str = "gapply",
+        *,
+        query_class: str | None = None,
+        priority: int | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        max_rows: int | None = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        client: str = "anonymous",
+        **kwargs: Any,
+    ) -> XmlChunkStream:
+        """Admit, snapshot, and start streaming one published XML document.
+
+        The streaming sibling of :meth:`sql`: same admission (query class,
+        priority, shedding) and the same snapshot isolation, but the
+        concurrency slot is held for the *lifetime of the returned
+        stream*, not just this call — a client slowly iterating a
+        multi-GB document occupies one slot the whole time, which is
+        exactly the backpressure admission control exists to provide.
+        The slot is returned when the stream is exhausted, closed, or
+        killed by shutdown; abandoning the stream object entirely still
+        releases on garbage collection, and :meth:`shutdown` force-closes
+        whatever remains in flight.
+
+        Budgets come from the query class unless overridden, and the
+        governor's clock starts now — queue wait counts against
+        ``timeout``, and mid-stream :meth:`Governor.cancel
+        <repro.execution.governor.Governor.cancel>` (or shutdown) stops
+        the stream within one chunk with :class:`~repro.errors.
+        QueryCancelled`. Extra keyword arguments pass through to
+        :meth:`Database.publish <repro.api.Database.publish>`
+        (``engine=``, ``parallelism=``, ``encoding=``, ...).
+        """
+        qclass = self.config.query_class(query_class)
+        budget = Budget(
+            timeout=timeout if timeout is not None else qclass.budget.timeout,
+            memory_cells=(
+                memory_budget
+                if memory_budget is not None
+                else qclass.budget.memory_cells
+            ),
+            max_rows=(
+                max_rows if max_rows is not None else qclass.budget.max_rows
+            ),
+        )
+        governor = Governor(budget, sql=query)
+        effective_priority = (
+            priority if priority is not None else qclass.priority
+        )
+        self.stats_counters.inc("publish_submitted")
+        try:
+            self.admission.acquire(effective_priority, governor, sql=query)
+        except ServiceOverloaded:
+            self.stats_counters.inc("shed")
+            raise
+        except ServiceStopped:
+            self.stats_counters.inc("rejected_stopped")
+            raise
+        except ReproError:  # deadline/cancel tripped while queued
+            self.stats_counters.inc("expired_queued")
+            raise
+        governor.mark_admitted()
+        reader = self.database.snapshot()
+        query_id = next(self._query_ids)
+        with self._state_lock:
+            self._active[query_id] = governor
+        try:
+            stream = reader.publish(
+                view,
+                query,
+                formulation,
+                chunk_bytes=chunk_bytes,
+                governor=governor,
+                **kwargs,
+            )
+        except ReproError:
+            # Translation/bind/plan failed before any stream existed.
+            self.stats_counters.inc("publish_failed")
+            with self._drained:
+                del self._active[query_id]
+                self._drained.notify_all()
+            self.admission.release()
+            raise
+        with self._state_lock:
+            self._active_streams[query_id] = stream
+        stream.on_close(self._publish_closed(query_id))
+        return stream
+
+    def _publish_closed(
+        self, query_id: int
+    ) -> Callable[[XmlChunkStream, BaseException | None], None]:
+        """The close hook that gives a publish stream's slot back."""
+
+        def hook(stream: XmlChunkStream, error: BaseException | None) -> None:
+            with self._drained:
+                self._active.pop(query_id, None)
+                self._active_streams.pop(query_id, None)
+                self._drained.notify_all()
+            self.admission.release()
+            stats = stream.stats
+            self.stats_counters.add_many(
+                published_bytes=stats.bytes_emitted,
+                publish_chunks=stats.chunks,
+            )
+            self.stats_counters.max_of(
+                "publish_peak_buffer_bytes", stats.peak_buffer_bytes
+            )
+            if error is None and stream.exhausted:
+                self.stats_counters.inc("published_docs")
+            elif error is None:
+                # Closed (by the client or shutdown) before the document
+                # finished — a deliberate abandon, not a failure.
+                self.stats_counters.inc("publish_abandoned")
+            elif isinstance(error, QueryCancelled):
+                self.stats_counters.inc("publish_cancelled")
+            else:
+                self.stats_counters.inc("publish_failed")
+
+        return hook
+
     # ------------------------------------------------------------------
     # Writes (serialized on the catalog mutation lock, copy-on-write)
     # ------------------------------------------------------------------
@@ -548,9 +696,11 @@ class Service:
         """Point-in-time service counters plus derived gauges."""
         with self._state_lock:
             active = len(self._active)
+            active_streams = len(self._active_streams)
         data = self.stats_counters.snapshot()
         data.update(
             active=active,
+            active_streams=active_streams,
             queue_depth=self.admission.queue_depth(),
             peak_queue_depth=self.admission.peak_queue_depth,
             slots=self.admission.slots,
@@ -626,6 +776,13 @@ class Service:
                 remaining = grace_deadline - time.monotonic()
                 if remaining <= 0 or not self._drained.wait(remaining):
                     break
+            # Publish streams whose clients simply stopped iterating never
+            # execute governor checks, so cancellation alone cannot drain
+            # them; force-close outside the lock (close hooks reacquire it).
+            streams = list(self._active_streams.values())
+        for stream in streams:
+            stream.close()
+        with self._drained:
             leaked = len(self._active)
         report = ShutdownReport(
             in_flight=in_flight,

@@ -1,6 +1,12 @@
 """XML publishing: views, XQuery subset, translation, constant-space
 tagging."""
 
+from repro.xmlpub.stream import (
+    DEFAULT_CHUNK_BYTES,
+    PublishStats,
+    XmlChunkStream,
+    stream_document,
+)
 from repro.xmlpub.tagger import (
     ConstantSpaceTagger,
     KeyItem,
@@ -8,8 +14,14 @@ from repro.xmlpub.tagger import (
     ScalarBranch,
     TaggerSpec,
     escape_text,
+    sanitize_parsed_text,
 )
-from repro.xmlpub.translate import TranslatedQuery, Translator, translate_xquery
+from repro.xmlpub.translate import (
+    FORMULATIONS,
+    TranslatedQuery,
+    Translator,
+    translate_xquery,
+)
 from repro.xmlpub.view import (
     XmlChildEdge,
     XmlField,
@@ -31,7 +43,11 @@ from repro.xmlpub.xquery import (
 
 __all__ = [
     "ConstantSpaceTagger",
+    "DEFAULT_CHUNK_BYTES",
+    "FORMULATIONS",
     "KeyItem",
+    "PublishStats",
+    "XmlChunkStream",
     "RowsBranch",
     "ScalarBranch",
     "TaggerSpec",
@@ -51,6 +67,8 @@ __all__ = [
     "XqSome",
     "escape_text",
     "parse_xquery",
+    "sanitize_parsed_text",
+    "stream_document",
     "tpch_supplier_view",
     "translate_xquery",
 ]

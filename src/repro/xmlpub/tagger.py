@@ -26,11 +26,58 @@ from repro.storage.table import Row
 from repro.storage.types import format_value, grouping_key
 
 
+# Control characters in the XML 1.0 text domain. Carriage return is legal
+# but parsers normalize a literal "\r" to "\n" (XML 1.0 §2.11), so it must
+# leave as a character reference to survive a parse round-trip. The other
+# C0 controls (everything below 0x20 except tab/LF/CR) are *illegal in the
+# document entirely*, even as character references — the only lossless
+# option is refusing the value, so we substitute U+FFFD REPLACEMENT
+# CHARACTER, the convention XML-generating databases use for untypeable
+# bytes. DEL (0x7F) and the C1 range are legal XML; they pass through.
+_CONTROL_TRANSLATION = {
+    0x0D: "&#13;",
+    **{
+        point: "�"
+        for point in range(0x20)
+        if point not in (0x09, 0x0A, 0x0D)
+    },
+}
+
+
 def escape_text(value: object) -> str:
-    """XML-escape a SQL value for text content."""
+    """XML-escape a SQL value for text content.
+
+    Handles every value :func:`~repro.storage.types.format_value` can
+    render — NULL, booleans, dates, floats, strings — and produces text
+    that any conforming XML parser accepts and round-trips: markup
+    characters become entity references (``&amp;``/``&lt;``/``&gt;``, so
+    ``]]>`` can never appear literally), ``\\r`` becomes ``&#13;`` to
+    survive parser line-ending normalization, and XML-illegal control
+    characters are replaced with U+FFFD (they cannot be represented in
+    XML 1.0 at all).
+    """
     text = format_value(value)
-    return (
+    text = (
         text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+    return text.translate(_CONTROL_TRANSLATION)
+
+
+def sanitize_parsed_text(value: object) -> str:
+    """What a conforming parser hands back for :func:`escape_text` output.
+
+    The reference for conformance tests and the fuzzer's round-trip
+    oracle: entity references decode to their characters, ``&#13;``
+    decodes to ``\\r``, and XML-illegal control characters were replaced
+    by U+FFFD before the document was written.
+    """
+    text = format_value(value)
+    return text.translate(
+        {
+            point: "�"
+            for point in range(0x20)
+            if point not in (0x09, 0x0A, 0x0D)
+        }
     )
 
 

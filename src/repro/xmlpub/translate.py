@@ -62,6 +62,11 @@ from repro.xmlpub.xquery import (
 )
 
 
+#: The two SQL formulations every translated query carries — the paper's
+#: sorted outer union ("union") vs. the GApply rewrite ("gapply").
+FORMULATIONS = ("union", "gapply")
+
+
 @dataclass(frozen=True)
 class TranslatedQuery:
     """The two SQL formulations plus the shared tagging specification."""
@@ -70,6 +75,16 @@ class TranslatedQuery:
     outer_union_sql: str
     spec: TaggerSpec
     payload_width: int
+
+    def sql_for(self, formulation: str) -> str:
+        """The SQL text for one of :data:`FORMULATIONS`."""
+        if formulation == "gapply":
+            return self.gapply_sql
+        if formulation == "union":
+            return self.outer_union_sql
+        raise XmlPublishError(
+            f"unknown formulation {formulation!r}; use one of {FORMULATIONS}"
+        )
 
 
 def _sql_literal(value: object) -> str:

@@ -1,0 +1,39 @@
+"""Shared fixtures for the XML publishing suites.
+
+``xml_db`` is the small TPC-H-shaped instance the translator tests were
+originally written against; the golden-document conformance battery
+reuses it so the snapshots under ``tests/snapshots/xml`` stay in lock
+step with the translator expectations.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.storage import DataType
+
+
+@pytest.fixture
+def xml_db() -> Database:
+    db = Database()
+    db.create_table(
+        "part",
+        [
+            ("p_partkey", DataType.INTEGER),
+            ("p_name", DataType.STRING),
+            ("p_retailprice", DataType.FLOAT),
+        ],
+        [(i, f"part{i}", float(i * 10)) for i in range(1, 13)],
+        primary_key=["p_partkey"],
+    )
+    db.create_table(
+        "partsupp",
+        [("ps_suppkey", DataType.INTEGER), ("ps_partkey", DataType.INTEGER)],
+        [(100 + (i % 3), i) for i in range(1, 13)],
+    )
+    db.create_table(
+        "supplier",
+        [("s_suppkey", DataType.INTEGER), ("s_name", DataType.STRING)],
+        [(100 + i, f"supp{i}") for i in range(3)],
+        primary_key=["s_suppkey"],
+    )
+    return db

@@ -1,0 +1,45 @@
+"""The paper's five XQuery formulations, shared across xmlpub suites.
+
+These are the queries Figures 5-7 of the paper build their SQL
+formulations around: the basic nested document (Q1), per-group
+aggregate comparisons (Q2), a correlated group filter (Q3), existential
+group selection (GS) and aggregate group selection (AGS). Both the
+translator tests and the golden-document conformance battery iterate
+``PAPER_QUERIES`` so "all supported queries" means the same thing
+everywhere.
+"""
+
+Q1 = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "<parts> for $p in $s/part return <part> $p/p_name, $p/p_retailprice "
+    "</part> </parts>, avg($s/part/p_retailprice) </ret>"
+)
+Q2 = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "<count_above> count($s/part[p_retailprice >= avg($s/part/p_retailprice)]) "
+    "</count_above>, <count_below> count($s/part[p_retailprice < "
+    "avg($s/part/p_retailprice)]) </count_below> </ret>"
+)
+Q3 = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
+    "<highend> for $p in $s/part[p_retailprice >= 0.8 * "
+    "max($s/part/p_retailprice)] return <part> $p/p_name </part> </highend> "
+    "</ret>"
+)
+GS = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier where some $p in $s/part "
+    "satisfies $p/p_retailprice > 90 return $s"
+)
+AGS = (
+    "for $s in /doc(tpch.xml)/suppliers/supplier "
+    "where avg($s/part/p_retailprice) > 60 return $s"
+)
+
+#: (id, query text, group tag) for every supported paper query.
+PAPER_QUERIES = [
+    ("q1", Q1, "ret"),
+    ("q2", Q2, "ret"),
+    ("q3", Q3, "ret"),
+    ("group-selection", GS, "supplier"),
+    ("aggregate-selection", AGS, "supplier"),
+]

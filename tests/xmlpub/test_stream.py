@@ -1,0 +1,259 @@
+"""Unit tests for the streaming publisher and the escape layer.
+
+Covers :func:`repro.xmlpub.stream.stream_document` (chunk framing,
+governor charging, cleanup), :class:`repro.xmlpub.stream.XmlChunkStream`
+(lifecycle, close hooks, error capture), and the
+:func:`repro.xmlpub.tagger.escape_text` /
+:func:`~repro.xmlpub.tagger.sanitize_parsed_text` pair via a
+parse-round-trip property over adversarial values.
+"""
+
+import random
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import (
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    ReproError,
+    XmlPublishError,
+)
+from repro.execution.governor import Budget, Governor
+from repro.fuzz.xmlpub import NASTY_VALUES
+from repro.xmlpub import (
+    PublishStats,
+    XmlChunkStream,
+    stream_document,
+    sanitize_parsed_text,
+)
+from repro.xmlpub.stream import STREAM_CELL_BYTES
+from repro.xmlpub.tagger import (
+    ConstantSpaceTagger,
+    KeyItem,
+    RowsBranch,
+    ScalarBranch,
+    TaggerSpec,
+    escape_text,
+)
+
+SPEC = TaggerSpec(
+    root_tag="doc",
+    group_tag="grp",
+    key_count=1,
+    key_items=(KeyItem("k", 0),),
+    branches=(
+        ScalarBranch(0, "val", 0),
+        RowsBranch(1, "items", "item", (("f", 1),)),
+    ),
+)
+
+
+def rows_for(n_groups: int, rows_per_group: int = 2) -> list[tuple]:
+    rows = []
+    for g in range(n_groups):
+        rows.append((g, 0, f"value-{g}", None))
+        for i in range(rows_per_group):
+            rows.append((g, 1, None, f"row-{g}-{i}"))
+    return rows
+
+
+def materialized(rows) -> bytes:
+    return ConstantSpaceTagger(SPEC).tag_to_string(rows).encode("utf-8")
+
+
+class TestStreamDocument:
+    @pytest.mark.parametrize("chunk_bytes", [1, 7, 64, 1 << 20])
+    def test_chunking_never_changes_bytes(self, chunk_bytes):
+        rows = rows_for(5)
+        chunks = list(stream_document(rows, SPEC, chunk_bytes=chunk_bytes))
+        assert b"".join(chunks) == materialized(rows)
+        assert all(chunks)
+
+    def test_chunk_bytes_bounds_every_chunk(self):
+        rows = rows_for(20)
+        chunks = list(stream_document(rows, SPEC, chunk_bytes=64))
+        # A chunk may overshoot by at most one tagger fragment, which for
+        # this spec is far below the chunk size itself.
+        assert max(len(c) for c in chunks) < 2 * 64
+        assert len(chunks) > 1
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(XmlPublishError):
+            next(stream_document([], SPEC, chunk_bytes=0))
+
+    def test_stats_accounting(self):
+        rows = rows_for(4)
+        stats = PublishStats()
+        chunks = list(
+            stream_document(rows, SPEC, chunk_bytes=32, stats=stats)
+        )
+        assert stats.rows_in == len(rows)
+        assert stats.chunks == len(chunks)
+        assert stats.bytes_emitted == sum(len(c) for c in chunks)
+        assert 32 <= stats.peak_buffer_bytes < 32 + 64
+        assert set(stats.snapshot()) == {
+            "rows_in", "chunks", "bytes_emitted", "peak_buffer_bytes",
+        }
+
+    def test_closes_row_source_on_abandon(self):
+        closed = []
+
+        def source():
+            try:
+                for row in rows_for(50):
+                    yield row
+            finally:
+                closed.append(True)
+
+        gen = stream_document(source(), SPEC, chunk_bytes=8)
+        next(gen)
+        gen.close()
+        assert closed == [True]
+
+
+class TestGovernorIntegration:
+    def test_emitted_bytes_charged(self):
+        rows = rows_for(6)
+        governor = Governor(Budget())
+        total = sum(
+            len(c)
+            for c in stream_document(
+                rows, SPEC, chunk_bytes=16, governor=governor
+            )
+        )
+        assert governor.emitted_bytes == total == len(materialized(rows))
+
+    def test_buffer_held_against_memory_budget(self):
+        rows = rows_for(50)
+        doc_len = len(materialized(rows))
+        cells_needed = doc_len // STREAM_CELL_BYTES
+        assert cells_needed > 4  # the document genuinely exceeds the cap
+        governor = Governor(Budget(memory_cells=4))
+        with pytest.raises(MemoryBudgetExceeded):
+            # chunk_bytes larger than the document: the whole document
+            # would have to sit in the pending buffer.
+            list(
+                stream_document(
+                    rows, SPEC, chunk_bytes=1 << 20, governor=governor
+                )
+            )
+        assert governor.cells_in_use == 0  # released on the error path
+
+    def test_small_chunks_fit_tight_budget(self):
+        rows = rows_for(50)
+        governor = Governor(Budget(memory_cells=4))
+        chunks = list(
+            stream_document(rows, SPEC, chunk_bytes=64, governor=governor)
+        )
+        assert b"".join(chunks) == materialized(rows)
+        assert governor.cells_in_use == 0
+        assert 0 < governor.peak_cells <= 4
+
+    def test_cancel_stops_within_one_chunk(self):
+        governor = Governor(Budget())
+        gen = stream_document(
+            rows_for(100), SPEC, chunk_bytes=32, governor=governor
+        )
+        next(gen)
+        governor.cancel()
+        with pytest.raises(QueryCancelled):
+            for _ in gen:
+                pass
+
+
+class TestXmlChunkStream:
+    def make(self, rows, **kwargs) -> XmlChunkStream:
+        return XmlChunkStream(rows, SPEC, **kwargs)
+
+    def test_read_all_matches_materialized(self):
+        rows = rows_for(3)
+        stream = self.make(rows, chunk_bytes=16)
+        assert stream.read_all() == materialized(rows)
+        assert stream.exhausted and stream.closed and stream.error is None
+
+    def test_close_hooks_fire_exactly_once(self):
+        fired = []
+        stream = self.make(rows_for(3))
+        stream.on_close(lambda s, err: fired.append(err))
+        stream.read_all()
+        stream.close()
+        stream.close()
+        assert fired == [None]
+
+    def test_hook_after_finish_fires_immediately(self):
+        stream = self.make(rows_for(1))
+        stream.read_all()
+        fired = []
+        stream.on_close(lambda s, err: fired.append(err))
+        assert fired == [None]
+
+    def test_next_after_close_raises_stopiteration(self):
+        stream = self.make(rows_for(10), chunk_bytes=8)
+        next(stream)
+        stream.close()
+        with pytest.raises(StopIteration):
+            next(stream)
+        assert not stream.exhausted  # abandoned, not drained
+
+    def test_error_captured_and_passed_to_hooks(self):
+        def broken():
+            yield from rows_for(2)
+            raise ReproError("row source failed")
+
+        stream = self.make(broken(), chunk_bytes=8)
+        fired = []
+        stream.on_close(lambda s, err: fired.append(err))
+        with pytest.raises(ReproError):
+            stream.read_all()
+        assert isinstance(stream.error, ReproError)
+        assert fired == [stream.error]
+
+    def test_context_manager_closes(self):
+        with self.make(rows_for(10), chunk_bytes=8) as stream:
+            next(stream)
+        assert stream.closed
+
+
+NASTY_ALPHABET = "a&<>\"']\r\n\t\x00\x01\x1f\x7fé中\U0001f600 ]>"
+
+
+class TestEscapeText:
+    @pytest.mark.parametrize("value", NASTY_VALUES, ids=repr)
+    def test_nasty_values_parse_and_round_trip(self, value):
+        document = f"<t>{escape_text(value)}</t>"
+        parsed = ET.fromstring(document)
+        assert (parsed.text or "") == sanitize_parsed_text(value)
+
+    def test_random_strings_parse_and_round_trip(self):
+        rng = random.Random(20260808)
+        for _ in range(300):
+            value = "".join(
+                rng.choice(NASTY_ALPHABET)
+                for _ in range(rng.randrange(0, 24))
+            )
+            document = f"<t>{escape_text(value)}</t>"
+            parsed = ET.fromstring(document)
+            assert (parsed.text or "") == sanitize_parsed_text(value)
+
+    def test_cdata_close_cannot_appear_literally(self):
+        assert "]]>" not in escape_text("a]]>b")
+
+    def test_carriage_return_survives_parsing(self):
+        # A literal \r would be normalized to \n by any conforming parser.
+        escaped = escape_text("a\rb")
+        assert escaped == "a&#13;b"
+        assert ET.fromstring(f"<t>{escaped}</t>").text == "a\rb"
+
+    def test_illegal_controls_become_replacement_char(self):
+        assert escape_text("a\x00b\x01c") == "a�b�c"
+        # Legal whitespace controls pass through.
+        assert escape_text("a\tb\nc") == "a\tb\nc"
+
+    def test_non_string_scalars(self):
+        assert escape_text(None) == "NULL"
+        assert escape_text(True) == "TRUE"
+        assert escape_text(False) == "FALSE"
+        assert escape_text(12) == "12"
+        assert escape_text(2.5) == "2.5"
+        assert escape_text(55.0) == "55"  # integral floats print as ints

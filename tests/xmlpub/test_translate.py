@@ -12,7 +12,6 @@ import pytest
 
 from repro.api import Database
 from repro.errors import XmlPublishError
-from repro.storage import DataType
 from repro.xmlpub import (
     ConstantSpaceTagger,
     Translator,
@@ -20,58 +19,7 @@ from repro.xmlpub import (
     translate_xquery,
 )
 
-Q1 = (
-    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
-    "<parts> for $p in $s/part return <part> $p/p_name, $p/p_retailprice "
-    "</part> </parts>, avg($s/part/p_retailprice) </ret>"
-)
-Q2 = (
-    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
-    "<count_above> count($s/part[p_retailprice >= avg($s/part/p_retailprice)]) "
-    "</count_above>, <count_below> count($s/part[p_retailprice < "
-    "avg($s/part/p_retailprice)]) </count_below> </ret>"
-)
-Q3 = (
-    "for $s in /doc(tpch.xml)/suppliers/supplier return <ret> $s/s_suppkey, "
-    "<highend> for $p in $s/part[p_retailprice >= 0.8 * "
-    "max($s/part/p_retailprice)] return <part> $p/p_name </part> </highend> "
-    "</ret>"
-)
-GS = (
-    "for $s in /doc(tpch.xml)/suppliers/supplier where some $p in $s/part "
-    "satisfies $p/p_retailprice > 90 return $s"
-)
-AGS = (
-    "for $s in /doc(tpch.xml)/suppliers/supplier "
-    "where avg($s/part/p_retailprice) > 60 return $s"
-)
-
-
-@pytest.fixture
-def xml_db() -> Database:
-    db = Database()
-    db.create_table(
-        "part",
-        [
-            ("p_partkey", DataType.INTEGER),
-            ("p_name", DataType.STRING),
-            ("p_retailprice", DataType.FLOAT),
-        ],
-        [(i, f"part{i}", float(i * 10)) for i in range(1, 13)],
-        primary_key=["p_partkey"],
-    )
-    db.create_table(
-        "partsupp",
-        [("ps_suppkey", DataType.INTEGER), ("ps_partkey", DataType.INTEGER)],
-        [(100 + (i % 3), i) for i in range(1, 13)],
-    )
-    db.create_table(
-        "supplier",
-        [("s_suppkey", DataType.INTEGER), ("s_name", DataType.STRING)],
-        [(100 + i, f"supp{i}") for i in range(3)],
-        primary_key=["s_suppkey"],
-    )
-    return db
+from tests.xmlpub.queries import AGS, GS, Q1, Q2, Q3
 
 
 def group_fragments(xml: str, tag: str) -> list[str]:
