@@ -1,0 +1,152 @@
+"""Durability costs: WAL commit latency and crash-recovery time.
+
+The write-ahead log (``repro.storage.wal``) journals every catalog
+mutation before applying it, so durable commit latency is dominated by
+the fsync policy: ``always`` pays one ``fsync(2)`` per mutation,
+``batch`` amortizes one fsync over every N appends, ``never`` leaves
+durability to the OS page cache (commit = one unbuffered ``write(2)``).
+This suite measures that ladder, plus the other number a durable store
+owes its operators: how long ``Database.open`` takes to recover — as a
+function of log length, and after a checkpoint truncates the log down
+to one snapshot plus a short tail.
+
+Expectations worth stating up front: ``always`` should be an order of
+magnitude (or more, on real disks) slower per commit than ``never``;
+recovery should scale linearly with replayed records; the checkpointed
+reopen should beat full replay of the same history.
+
+Run:  pytest benchmarks/bench_durability.py --benchmark-only
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.api import Database
+from repro.storage.types import DataType
+from repro.storage.wal import FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER
+
+COLUMNS = [("k", DataType.INTEGER), ("v", DataType.STRING)]
+POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+#: Single-row commits per measured run in the pytest suite.
+BENCH_COMMITS = 100
+
+
+def _commit_rows(directory: str, fsync: str, count: int) -> int:
+    """Open a durable store and commit ``count`` single-row inserts."""
+    db = Database.open(directory, fsync=fsync)
+    db.create_table("t", COLUMNS, [])
+    for i in range(count):
+        db.catalog.insert_rows("t", [(i, f"v{i}")])
+    db.close()
+    return count
+
+
+def _reopen(directory: str) -> int:
+    db = Database.open(directory)
+    rows = len(db.catalog.table("t").rows)
+    db.close()
+    return rows
+
+
+@pytest.mark.parametrize("fsync", POLICIES)
+def test_commit_latency(benchmark, fsync):
+    def run():
+        directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+        try:
+            return _commit_rows(directory, fsync, BENCH_COMMITS)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    assert benchmark(run) == BENCH_COMMITS
+
+
+def test_recovery_replay(benchmark):
+    directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    try:
+        _commit_rows(directory, FSYNC_NEVER, BENCH_COMMITS)
+        # Recovery replays the same (untouched) log on every repetition.
+        assert benchmark(_reopen, directory) == BENCH_COMMITS
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_recovery_from_checkpoint(benchmark):
+    directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    try:
+        db = Database.open(directory, fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [])
+        for i in range(BENCH_COMMITS):
+            db.catalog.insert_rows("t", [(i, f"v{i}")])
+        db.checkpoint()
+        db.close()
+        assert benchmark(_reopen, directory) == BENCH_COMMITS
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _script_cases(scale: float, repetitions: int):
+    from smokebench import measure_callable
+
+    # Scale the commit count with the shared TPC-H scale knob so smoke
+    # mode stays inside the CI budget (scale 0.02 -> 100 commits).
+    ops = max(100, int(scale * 5000))
+    cases = []
+
+    for fsync in POLICIES:
+        def run(fsync=fsync):
+            directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+            try:
+                return _commit_rows(directory, fsync, ops)
+            finally:
+                shutil.rmtree(directory, ignore_errors=True)
+
+        cases.append(
+            (f"commit-fsync-{fsync}", measure_callable(run, repetitions, work=ops))
+        )
+
+    for factor, label in ((1, "short"), (4, "long")):
+        directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+        try:
+            _commit_rows(directory, FSYNC_NEVER, ops * factor)
+            cases.append(
+                (
+                    f"recover-log-{label}",
+                    measure_callable(
+                        lambda d=directory: _reopen(d),
+                        repetitions,
+                        work=ops * factor,
+                    ),
+                )
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    try:
+        db = Database.open(directory, fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [])
+        for i in range(ops * 4):
+            db.catalog.insert_rows("t", [(i, f"v{i}")])
+        db.checkpoint()
+        db.close()
+        cases.append(
+            (
+                "recover-checkpointed",
+                measure_callable(
+                    lambda d=directory: _reopen(d), repetitions, work=ops * 4
+                ),
+            )
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    return cases
+
+
+if __name__ == "__main__":
+    from smokebench import bench_main
+
+    bench_main("durability", _script_cases)

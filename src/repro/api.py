@@ -278,6 +278,64 @@ class Database:
         if plan_cache is Database._DEFAULT_CACHE:
             plan_cache = PlanCache()
         self.plan_cache = plan_cache
+        #: The write-ahead log behind :meth:`open`; ``None`` for plain
+        #: in-memory databases.
+        self.wal = None
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        fsync: str = "always",
+        segment_bytes: int | None = None,
+        batch_every: int = 8,
+        plan_cache: "PlanCache | None" = _DEFAULT_CACHE,
+    ) -> "Database":
+        """Open (or create) a durable database rooted at directory ``path``.
+
+        Recovery first: load the newest valid checkpoint, replay the
+        write-ahead log on top of it (truncating a torn tail on the
+        newest segment; raising :class:`~repro.errors.WalCorruptionError`
+        on mid-log damage), then attach a writer so every subsequent
+        catalog mutation journals itself before applying. ``fsync`` is
+        one of ``"always"`` / ``"batch"`` / ``"never"``
+        (:data:`repro.storage.wal.FSYNC_POLICIES`).
+        """
+        from repro.storage import wal as walmod
+
+        catalog, replayed = walmod.recover(path)
+        kwargs: dict[str, Any] = {"fsync": fsync, "batch_every": batch_every}
+        if segment_bytes is not None:
+            kwargs["segment_bytes"] = segment_bytes
+        log = walmod.WriteAheadLog(path, **kwargs)
+        log.recoveries = 1
+        log.replayed_records = replayed
+        catalog.attach_wal(log)
+        database = cls(catalog, plan_cache=plan_cache)
+        database.wal = log
+        return database
+
+    def checkpoint(self) -> None:
+        """Serialize the current catalog into a durable checkpoint and
+        truncate the WAL segments it supersedes. No-op without a WAL."""
+        if self.wal is None:
+            return
+        from repro.storage import wal as walmod
+
+        with self.catalog.mutation_lock:
+            state = walmod.catalog_state(self.catalog.snapshot())
+            self.wal.write_checkpoint(state)
+
+    def close(self) -> None:
+        """Flush and close the WAL (if any). The database object stays
+        queryable in memory; only durability ends."""
+        if self.wal is not None:
+            self.wal.close()
+
+    def create_index(self, table_name: str, columns: Sequence[str]):
+        """Catalog-level index DDL (journaled when the database is
+        durable; see :meth:`repro.storage.catalog.Catalog.create_index`)."""
+        return self.catalog.create_index(table_name, columns)
 
     def snapshot(self) -> "Database":
         """A read-only Database pinned to the catalog's current version.
@@ -551,7 +609,11 @@ class Database:
             report=report,
             param_count=len(values),
             est_rows=report.best_estimate.rows,
-            qerror_threshold=self.plan_cache.qerror_threshold,
+            # Seed from the shape's remembered backoff (if it ever
+            # re-planned), not the default: catalog mutations rebuild
+            # entries under a new version, and resetting the threshold
+            # would re-pay the re-plan probe after every write.
+            qerror_threshold=self.plan_cache.seed_threshold(key),
         )
 
     def _replan_entry(

@@ -131,8 +131,9 @@ class TimeoutExceeded(BudgetExceeded):
 
 class MemoryBudgetExceeded(BudgetExceeded):
     """A buffering operator would exceed the query's cell budget
-    (``memory_budget=``). GApply's partition phase spills to disk instead
-    of raising this; blocking sorts/distincts/hash builds cannot."""
+    (``memory_budget=``). GApply's partition phase, ORDER BY sorts and
+    DISTINCT spill to disk instead of raising this; hash builds
+    (joins, aggregates) cannot."""
 
 
 class RowBudgetExceeded(BudgetExceeded):
@@ -141,6 +142,25 @@ class RowBudgetExceeded(BudgetExceeded):
 
 class SpillError(ExecutionError):
     """A spill run file could not be written or read back."""
+
+
+class WalError(ReproError):
+    """A write-ahead-log append, fsync, or checkpoint failed.
+
+    Raised *before* the in-memory catalog mutation applies and after the
+    partially written record has been truncated away, so a caller that
+    catches it holds a store whose durable state still equals its
+    acknowledged state exactly."""
+
+
+class WalCorruptionError(WalError):
+    """The write-ahead log or a checkpoint is damaged beyond a torn tail.
+
+    A bad frame at the very end of the newest segment is a torn write and
+    is silently truncated during recovery; a bad frame *followed by more
+    log data*, a version gap in the replay sequence, or a checkpoint that
+    fails its CRC means acknowledged history is unreadable — recovery
+    refuses to guess and raises this instead."""
 
 
 class WorkerCrashed(ExecutionError):

@@ -11,12 +11,37 @@ from typing import Iterator, Sequence
 import operator
 
 from repro.algebra.expressions import Expression
-from repro.errors import PlanError
+from repro.errors import MemoryBudgetExceeded, PlanError
 from repro.execution.base import PhysicalOperator
 from repro.execution.context import ExecutionContext
 from repro.storage.schema import Column, Schema
 from repro.storage.table import Row
 from repro.storage.types import grouping_key
+
+
+class _Descending:
+    """Inverts comparisons for one element of a composite sort key.
+
+    A single stable ascending sort — and, crucially, ``heapq.merge``
+    during spill-run merging, which takes exactly one key function —
+    can then express per-column DESC. Ties compare equal so stability
+    is preserved, which keeps the spilled sort byte-identical to the
+    in-memory right-to-left multi-pass sort.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+    def __hash__(self):
+        return hash(self.key)
 
 
 class PFilter(PhysicalOperator):
@@ -109,7 +134,14 @@ class PPrune(PhysicalOperator):
 
 
 class PDistinct(PhysicalOperator):
-    """Hash-based duplicate elimination over whole rows."""
+    """Duplicate elimination over whole rows.
+
+    Streaming hash dedup by default; under a governor memory budget it
+    switches to a two-phase external algorithm (sort-by-key dedup, then
+    sort-by-arrival) that emits exactly the streaming path's rows in
+    exactly its first-appearance order while holding only a bounded
+    buffer resident (DESIGN.md §14.5).
+    """
 
     def __init__(self, child: PhysicalOperator):
         self.child = child
@@ -118,6 +150,10 @@ class PDistinct(PhysicalOperator):
     def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         governor = ctx.governor
+        threshold = None if governor is None else governor.spill_threshold()
+        if threshold is not None:
+            yield from self._execute_spill(ctx, governor, threshold)
+            return
         seen: set[tuple] = set()
         width = len(self.schema)
         try:
@@ -128,8 +164,6 @@ class PDistinct(PhysicalOperator):
                     continue
                 seen.add(key)
                 counters.buffered_cells += width
-                # No spill path here: over a memory budget this raises
-                # MemoryBudgetExceeded rather than degrading.
                 if governor is not None:
                     governor.charge_cells(width)
                 counters.rows += 1
@@ -138,12 +172,122 @@ class PDistinct(PhysicalOperator):
             if governor is not None:
                 governor.release_cells(len(seen) * width)
 
+    def _execute_spill(
+        self, ctx: ExecutionContext, governor, threshold: int
+    ) -> Iterator[Row]:
+        """External distinct preserving first-appearance order.
+
+        Phase 1 buffers ``(seq, row)`` pairs and spills runs sorted by
+        the row's grouping key; the stable merge makes the first item of
+        every equal-key cluster the one with the globally smallest
+        arrival ``seq``, so dropping the rest keeps exactly the row the
+        streaming path would have emitted. Phase 2 external-sorts the
+        survivors back into ``seq`` order. Phase 1's resident tail feeds
+        the merge while phase 2 accumulates, so each phase flushes at
+        half the threshold to stay inside the shared budget.
+        """
+        import operator as _operator
+
+        from repro.storage.spill import SpillRun, merge_runs
+
+        counters = ctx.counters
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        width = max(1, len(self.schema))
+        half = max(width, threshold // 2)
+        key_of = lambda item: grouping_key(item[1])  # noqa: E731
+        seq_of = _operator.itemgetter(0)
+        runs1: list = []
+        runs2: list = []
+        buf1: list = []
+        buf2: list = []
+        state = {"res1": 0, "res2": 0, "spilled_rows": 0, "spill_bytes": 0}
+
+        def flush(buf, runs, res, sort_key):
+            buf.sort(key=sort_key)
+            counters.comparisons += len(buf)
+            run = SpillRun(buf)
+            runs.append(run)
+            state["spilled_rows"] += run.records
+            state["spill_bytes"] += run.bytes_written
+            governor.release_cells(state[res])
+            state[res] = 0
+            buf.clear()
+
+        def charge(buf, runs, res, sort_key):
+            if state[res] and state[res] + width > half:
+                flush(buf, runs, res, sort_key)
+            try:
+                governor.charge_cells(width)
+            except MemoryBudgetExceeded:
+                if not state[res]:
+                    raise
+                flush(buf, runs, res, sort_key)
+                governor.charge_cells(width)
+            state[res] += width
+
+        try:
+            for seq, row in enumerate(self.child.execute(ctx)):
+                counters.hash_inserts += 1
+                counters.buffered_cells += width
+                charge(buf1, runs1, "res1", key_of)
+                buf1.append((seq, row))
+            buf1.sort(key=key_of)
+            counters.comparisons += len(buf1)
+            merged = (
+                merge_runs([*runs1, buf1], key=key_of) if runs1 else iter(buf1)
+            )
+            previous: object = object()  # never equals a grouping key
+            for item in merged:
+                key = key_of(item)
+                if key == previous:
+                    continue
+                previous = key
+                counters.buffered_cells += width
+                charge(buf2, runs2, "res2", seq_of)
+                buf2.append(item)
+            # Phase 1 is fully consumed: free its tail before emitting.
+            governor.release_cells(state["res1"])
+            state["res1"] = 0
+            for run in runs1:
+                run.close()
+            buf1.clear()
+            buf2.sort(key=seq_of)
+            counters.comparisons += len(buf2)
+            counters.spill_runs += len(runs1) + len(runs2)
+            counters.spilled_rows += state["spilled_rows"]
+            counters.spill_bytes += state["spill_bytes"]
+            if record is not None:
+                record.spill_runs += len(runs1) + len(runs2)
+                record.spilled_rows += state["spilled_rows"]
+                record.spill_bytes += state["spill_bytes"]
+            final = (
+                merge_runs([*runs2, buf2], key=seq_of) if runs2 else buf2
+            )
+            for _seq, row in final:
+                counters.rows += 1
+                yield row
+        finally:
+            governor.release_cells(state["res1"] + state["res2"])
+            for run in runs1:
+                run.close()
+            for run in runs2:
+                run.close()
+
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
 
 class PSort(PhysicalOperator):
-    """Blocking sort; NULLS FIRST, stable, per-column asc/desc."""
+    """Sort; NULLS FIRST, stable, per-column asc/desc.
+
+    Fully in-memory by default; under a governor memory budget it runs
+    an external merge sort over :class:`~repro.storage.spill.SpillRun`
+    files (DESIGN.md §14.5). The spilled output is byte-identical to the
+    in-memory path: the composite key below is the single-pass
+    equivalent of the stable right-to-left multi-pass sort, and the
+    stable ``heapq.merge`` (runs in creation order, resident tail last)
+    reproduces arrival-order ties exactly.
+    """
 
     def __init__(
         self, child: PhysicalOperator, items: Sequence[tuple[str, bool]]
@@ -156,15 +300,23 @@ class PSort(PhysicalOperator):
             for reference, ascending in self.items
         ]
 
+    def _composite_key(self, row: Row) -> tuple:
+        parts = []
+        for position, ascending in self._positions:
+            part = grouping_key((row[position],))[0]
+            parts.append(part if ascending else _Descending(part))
+        return tuple(parts)
+
     def _execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         counters = ctx.counters
         governor = ctx.governor
+        threshold = None if governor is None else governor.spill_threshold()
+        if threshold is not None:
+            yield from self._execute_spill(ctx, governor, threshold)
+            return
         rows = list(self.child.execute(ctx))
         cells = len(rows) * len(self.schema)
         counters.buffered_cells += cells
-        # No spill path here (only GApply's partition phase spills): under
-        # a memory budget the whole buffer is charged up front and a
-        # too-large input raises MemoryBudgetExceeded.
         try:
             if governor is not None:
                 governor.charge_cells(cells)
@@ -181,6 +333,73 @@ class PSort(PhysicalOperator):
         finally:
             if governor is not None:
                 governor.release_cells(cells)
+
+    def _execute_spill(
+        self, ctx: ExecutionContext, governor, threshold: int
+    ) -> Iterator[Row]:
+        """External merge sort under a memory budget.
+
+        Mirrors GApply's ``_partition_sort_spill`` discipline: buffer up
+        to the threshold, sort + write a run, release the resident
+        cells; a rejected charge with something resident flushes and
+        retries (the budget is shared with other operators), with
+        nothing resident the budget is genuinely too small for one row
+        and the typed error propagates.
+        """
+        from repro.storage.spill import SpillRun, merge_runs
+
+        counters = ctx.counters
+        record = None if ctx.metrics is None else ctx.metrics.record_for(self)
+        width = max(1, len(self.schema))
+        sort_key = self._composite_key
+        runs: list = []
+        buffer: list = []
+        state = {"resident": 0, "spilled_rows": 0, "spill_bytes": 0}
+
+        def flush_run():
+            buffer.sort(key=sort_key)
+            counters.comparisons += len(buffer)
+            run = SpillRun(buffer)
+            runs.append(run)
+            state["spilled_rows"] += run.records
+            state["spill_bytes"] += run.bytes_written
+            governor.release_cells(state["resident"])
+            state["resident"] = 0
+            buffer.clear()
+
+        try:
+            for row in self.child.execute(ctx):
+                counters.buffered_cells += width
+                if state["resident"] and state["resident"] + width > threshold:
+                    flush_run()
+                try:
+                    governor.charge_cells(width)
+                except MemoryBudgetExceeded:
+                    if not state["resident"]:
+                        raise
+                    flush_run()
+                    governor.charge_cells(width)
+                buffer.append(row)
+                state["resident"] += width
+            buffer.sort(key=sort_key)
+            counters.comparisons += len(buffer)
+            counters.spill_runs += len(runs)
+            counters.spilled_rows += state["spilled_rows"]
+            counters.spill_bytes += state["spill_bytes"]
+            if record is not None:
+                record.spill_runs += len(runs)
+                record.spilled_rows += state["spilled_rows"]
+                record.spill_bytes += state["spill_bytes"]
+            merged = (
+                merge_runs([*runs, buffer], key=sort_key) if runs else buffer
+            )
+            for row in merged:
+                counters.rows += 1
+                yield row
+        finally:
+            governor.release_cells(state["resident"])
+            for run in runs:
+                run.close()
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)

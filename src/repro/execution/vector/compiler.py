@@ -63,6 +63,7 @@ from repro.execution.vector.nodes import (
     IndexSeekSource,
     MaterializedSource,
     SortNode,
+    SpillGateNode,
     TableScanSource,
     UnionAllNode,
     VectorNode,
@@ -163,7 +164,11 @@ class _Compiler:
                 return EmptyNode(op)
             return self.extend(self.compile(op.child), LimitStage(op))
         if isinstance(op, PDistinct):
-            return self.extend(self.compile(op.child), DistinctStage(op))
+            # The fused stage cannot block, so its external spill path
+            # lives in the Volcano operator; the gate checks the governor
+            # at runtime and delegates the subtree when a budget is set.
+            inner = self.extend(self.compile(op.child), DistinctStage(op))
+            return SpillGateNode(op, inner, size)
         if isinstance(op, PHashJoin):
             build_child = op.left if op.build_left else op.right
             probe_child = op.right if op.build_left else op.left

@@ -262,14 +262,50 @@ class IndexSeekSource(VectorNode):
             yield rows_batch(out, width)
 
 
+class SpillGateNode(VectorNode):
+    """Runtime spill gate around a fused stage with a Volcano spill path.
+
+    Whole-row DISTINCT fuses into its input pipeline as a streaming
+    stage, which has no way to block and re-emit — so under a governor
+    memory budget (known only at runtime) the gate delegates the whole
+    subtree to the Volcano operator, whose external two-phase path owns
+    the spill bookkeeping. Without a budget the inner pipeline runs
+    untouched; ``batches`` is overridden entirely so the gate adds no
+    metrics records or tracer spans of its own.
+    """
+
+    def __init__(
+        self, op: PhysicalOperator, inner: VectorNode, batch_size: int
+    ):
+        self.op = op
+        self.inner = inner
+        self.batch_size = batch_size
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        governor = ctx.governor
+        if governor is not None and governor.spill_threshold() is not None:
+            yield from volcano_batches(self.op, ctx, self.batch_size)
+            return
+        yield from self.inner.batches(ctx)
+
+
 class SortNode(VectorNode):
     """Blocking sort breaker mirroring ``PSort``: full materialization,
-    up-front cell charge, right-to-left stable per-key sorts."""
+    up-front cell charge, right-to-left stable per-key sorts. Under a
+    governor memory budget the whole subtree delegates to the Volcano
+    operator's external merge sort (same pattern as ``GApplyNode``)."""
 
     def __init__(self, op, child: VectorNode, batch_size: int):
         self.op = op
         self.child = child
         self.batch_size = batch_size
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        governor = ctx.governor
+        if governor is not None and governor.spill_threshold() is not None:
+            yield from volcano_batches(self.op, ctx, self.batch_size)
+            return
+        yield from super().batches(ctx)
 
     def _run(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         op = self.op

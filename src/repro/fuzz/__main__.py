@@ -69,8 +69,17 @@ def main(argv: list[str] | None = None) -> int:
         "delays, spill failures) and adversarial budgets, asserting "
         "correct rows or a typed error",
     )
+    parser.add_argument(
+        "--durability",
+        action="store_true",
+        help="run durability chaos instead: seeded crash points against "
+        "a WAL-backed store (kills, torn writes, fsync failures, "
+        "checkpoint crashes), asserting exact prefix recovery",
+    )
     args = parser.parse_args(argv)
 
+    if args.durability:
+        return _durability_main(args)
     if args.chaos:
         return _chaos_main(args)
     if args.profile == PLANCACHE_PROFILE:
@@ -164,6 +173,35 @@ def _chaos_main(args) -> int:
             )
         )
         print(f"failing fault plans written to {path}")
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s")
+    return 0 if report.ok else 1
+
+
+def _durability_main(args) -> int:
+    from repro.fuzz.durability import run_durability_chaos
+
+    start = time.perf_counter()
+    report = run_durability_chaos(
+        seed=args.seed,
+        n=args.n,
+        stop_after=args.stop_after,
+        progress=lambda message: print(message, flush=True),
+    )
+    elapsed = time.perf_counter() - start
+    if report.failures and args.corpus_dir:
+        import json
+        from pathlib import Path
+
+        directory = Path(args.corpus_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "durability-failures.json"
+        path.write_text(
+            json.dumps(
+                [failure.describe() for failure in report.failures], indent=2
+            )
+        )
+        print(f"failing crash plans written to {path}")
     print(report.summary())
     print(f"elapsed: {elapsed:.1f}s")
     return 0 if report.ok else 1

@@ -28,8 +28,8 @@ Scenarios (one per case, chosen by the seed):
                     and the Nth spill write fails; correct rows (fault
                     landed past the last write) or ``SpillError``
 ``memory-budget``   a sort-carrying query under a random cell budget;
-                    correct rows or ``MemoryBudgetExceeded`` (sorts have
-                    no spill path)
+                    correct rows (sorts and DISTINCT spill to disk) or
+                    ``MemoryBudgetExceeded`` from a hash build
 ``row-budget``      a random ``max_rows``; correct rows when under, else
                     ``RowBudgetExceeded``
 ``clean-spill``     a memory budget small enough to force spilling, no
@@ -212,8 +212,9 @@ def build_case(seed: int) -> ChaosCase:
         case.allowed_errors = (SpillError,)
         case.must_succeed = False
     elif scenario == "memory-budget":
-        # The baseline formulation carries an ORDER BY: its sort has no
-        # spill path, so a small budget must raise, never misbehave.
+        # The baseline formulation carries an ORDER BY: under a small
+        # budget the sort spills to disk (still correct rows) while a
+        # hash join/aggregate build may raise — never a wrong answer.
         case.sql = fixture.baseline_sql
         case.expected = fixture.baseline_rows
         case.memory_budget = rng.choice((32, 256, 4096, 1 << 20))

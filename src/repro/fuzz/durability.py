@@ -1,0 +1,336 @@
+"""Durability chaos: seeded crash points against a durable database.
+
+The regular chaos mode (:mod:`repro.fuzz.chaos`) asserts "correct rows
+or a typed error" for queries under faults; this module asserts the
+storage half of the robustness contract — **exact prefix durability**.
+Each seed deterministically derives a workload of catalog mutations
+(create/insert/index/FK/drop, interleaved with checkpoints), an fsync
+policy, WAL tuning knobs, and one crash point from
+:data:`repro.execution.faults.DURABILITY_POINTS`:
+
+* kill before the Nth WAL append,
+* a short (torn) write of the Nth WAL frame,
+* an fsync failure at the Nth WAL sync,
+* a crash during a checkpoint (mid temp write / before the atomic
+  rename / before the superseded-segment deletion),
+* or no fault at all (clean shutdown + reopen).
+
+The workload runs until it finishes or the armed point fires
+(:class:`~repro.execution.faults.SimulatedCrash`, whereupon the store is
+abandoned exactly as a dead process would leave it — unbuffered segment
+writes mean the on-disk bytes are precisely what the crashed process
+managed to write). Then ``Database.open`` recovers, and the invariant is
+checked: the recovered catalog equals — tables, rows, schemas, primary
+keys, index column sets, foreign keys, and the version counter itself —
+a catalog built by replaying exactly the *acknowledged* operations. No
+lost acks, no phantom rows, no ``.tmp`` orphans, and a second reopen
+reproduces the same state (recovery is idempotent).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.api import Database
+from repro.errors import WalCorruptionError, WalError
+from repro.execution.faults import (
+    FaultPlan,
+    SimulatedCrash,
+    fault_injection,
+)
+from repro.fuzz.chaos import ChaosFailure, ChaosReport
+from repro.storage import DataType
+from repro.storage.wal import FSYNC_POLICIES
+
+_COLUMNS = [("k", DataType.INTEGER), ("v", DataType.STRING)]
+
+
+@dataclass
+class DurabilityCase:
+    """Everything one seed decided; replaying the seed rebuilds it."""
+
+    seed: int
+    fsync: str
+    fault: FaultPlan
+    op_count: int
+    checkpoint_every: int  # 0 = never checkpoint
+    segment_bytes: int
+    batch_every: int
+
+    @property
+    def scenario(self) -> str:
+        fault = self.fault
+        if fault.wal_kill_at is not None:
+            return "wal-kill"
+        if fault.wal_short_write_at is not None:
+            return "wal-short-write"
+        if fault.wal_fsync_fail_at is not None:
+            return "wal-fsync-fail"
+        if fault.checkpoint_crash_at is not None:
+            return f"checkpoint-{fault.checkpoint_crash_phase}"
+        return "none"
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "fsync": self.fsync,
+            "op_count": self.op_count,
+            "checkpoint_every": self.checkpoint_every,
+            "segment_bytes": self.segment_bytes,
+            "batch_every": self.batch_every,
+            "fault": self.fault.to_dict(),
+        }
+
+
+def build_durability_case(seed: int) -> DurabilityCase:
+    """Deterministically derive one durability case from its seed."""
+    rng = random.Random(seed)
+    return DurabilityCase(
+        seed=seed,
+        fsync=rng.choice(FSYNC_POLICIES),
+        fault=FaultPlan.for_durability(seed, appends=28, checkpoints=3),
+        op_count=rng.randrange(12, 30),
+        checkpoint_every=rng.choice((0, 5, 9)),
+        # Tiny segments force rotation mid-workload; large ones keep
+        # everything in one file — both paths must recover.
+        segment_bytes=rng.choice((256, 4096, 1 << 20)),
+        batch_every=rng.choice((2, 8)),
+    )
+
+
+def _generate_ops(rng: random.Random, count: int) -> list[tuple]:
+    """A deterministic mutation sequence that is always applicable in
+    order (inserts/indexes/FKs only target tables still live)."""
+    ops: list[tuple] = []
+    live: list[str] = []
+    next_id = 0
+    for _ in range(count):
+        choices = ["create"]
+        if live:
+            choices += ["insert"] * 6 + ["index", "fk"]
+            if len(live) > 2:
+                choices.append("drop")
+        kind = rng.choice(choices)
+        if kind == "create":
+            name = f"t{next_id}"
+            next_id += 1
+            live.append(name)
+            ops.append(("create_table", name))
+        elif kind == "insert":
+            table = rng.choice(live)
+            rows = [
+                (rng.randrange(1000), f"v{rng.randrange(100)}")
+                for _ in range(rng.randrange(1, 5))
+            ]
+            ops.append(("insert_rows", table, rows))
+        elif kind == "index":
+            table = rng.choice(live)
+            columns = rng.choice((["k"], ["v"], ["k", "v"]))
+            ops.append(("create_index", table, columns))
+        elif kind == "fk":
+            child = rng.choice(live)
+            parent = rng.choice(live)
+            ops.append(("add_foreign_key", child, ["k"], parent, ["k"]))
+        else:
+            table = live.pop(rng.randrange(len(live)))
+            ops.append(("drop_table", table))
+    return ops
+
+
+def _apply_op(db: Database, op: tuple) -> None:
+    kind = op[0]
+    if kind == "create_table":
+        db.create_table(op[1], _COLUMNS, [])
+    elif kind == "insert_rows":
+        db.catalog.insert_rows(op[1], op[2])
+    elif kind == "create_index":
+        db.catalog.create_index(op[1], op[2])
+    elif kind == "add_foreign_key":
+        db.catalog.add_foreign_key(op[1], op[2], op[3], op[4])
+    elif kind == "drop_table":
+        db.catalog.drop(op[1])
+    else:  # pragma: no cover - generator and applier move together
+        raise AssertionError(f"unknown op {kind!r}")
+
+
+def _references_dead_table(op: tuple, dead: set[str]) -> bool:
+    if not dead:
+        return False
+    if op[0] == "add_foreign_key":
+        return op[1] in dead or op[3] in dead
+    return op[0] != "create_table" and op[1] in dead
+
+
+def catalog_fingerprint(db: Database) -> dict[str, Any]:
+    """Everything the exact-prefix invariant compares, as plain data."""
+    return {
+        "version": db.catalog.version,
+        "tables": {
+            table.name: {
+                "columns": [(c.name, c.dtype.value) for c in table.schema],
+                "rows": list(table.rows),
+                "primary_key": table.primary_key,
+                "indexes": sorted(table.indexes),
+            }
+            for table in db.catalog
+        },
+        "foreign_keys": sorted(
+            (
+                fk.child_table,
+                fk.child_columns,
+                fk.parent_table,
+                fk.parent_columns,
+            )
+            for fk in db.catalog.foreign_keys()
+        ),
+    }
+
+
+def run_durability_case(case: DurabilityCase) -> str | None:
+    """Run one case; None when the invariant held, else a detail string."""
+    directory = tempfile.mkdtemp(prefix="repro-wal-chaos-")
+    try:
+        return _run_in_directory(case, directory)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _run_in_directory(case: DurabilityCase, directory: str) -> str | None:
+    rng = random.Random(case.seed * 7919 + 17)
+    ops = _generate_ops(rng, case.op_count)
+    acked: list[tuple] = []
+    crashed = False
+    # Tables whose CREATE was rejected by a WAL fault: the generator
+    # assumed they exist, so later ops naming them must be skipped
+    # (they were never acknowledged either).
+    dead: set[str] = set()
+    with fault_injection(case.fault):
+        db = Database.open(
+            directory,
+            fsync=case.fsync,
+            segment_bytes=case.segment_bytes,
+            batch_every=case.batch_every,
+        )
+        for position, op in enumerate(ops):
+            if _references_dead_table(op, dead):
+                continue
+            try:
+                _apply_op(db, op)
+            except SimulatedCrash:
+                crashed = True
+                db.wal.abandon()
+                break
+            except WalError:
+                # Typed append/fsync failure: the op was NOT acknowledged
+                # and its frame was rolled back — it must not reappear.
+                if op[0] == "create_table":
+                    dead.add(op[1])
+                continue
+            acked.append(op)
+            if (
+                case.checkpoint_every
+                and (position + 1) % case.checkpoint_every == 0
+            ):
+                try:
+                    db.checkpoint()
+                except SimulatedCrash:
+                    crashed = True
+                    db.wal.abandon()
+                    break
+                except WalError:
+                    pass  # checkpoint failed; the log is still the truth
+        if not crashed:
+            db.close()
+
+    expected = Database()
+    for op in acked:
+        _apply_op(expected, op)
+
+    try:
+        recovered = Database.open(directory)
+    except WalCorruptionError as error:
+        return f"recovery refused a crash-consistent store: {error}"
+    try:
+        want = catalog_fingerprint(expected)
+        got = catalog_fingerprint(recovered)
+        if got != want:
+            return _diff_detail(want, got, len(acked), crashed)
+        leaked = [
+            name for name in os.listdir(directory) if name.endswith(".tmp")
+        ]
+        if leaked:
+            return f"leaked temp files after recovery: {leaked}"
+    finally:
+        recovered.close()
+    # Recovery must be idempotent: a second open sees the same state.
+    again = Database.open(directory)
+    try:
+        if catalog_fingerprint(again) != want:
+            return "second recovery diverged from the first"
+    finally:
+        again.close()
+    return None
+
+
+def _diff_detail(
+    want: dict, got: dict, acked: int, crashed: bool
+) -> str:
+    parts = [
+        f"recovered state != acknowledged prefix ({acked} acked ops, "
+        f"crashed={crashed})"
+    ]
+    if want["version"] != got["version"]:
+        parts.append(
+            f"version {got['version']} != expected {want['version']}"
+        )
+    missing = sorted(set(want["tables"]) - set(got["tables"]))
+    phantom = sorted(set(got["tables"]) - set(want["tables"]))
+    if missing:
+        parts.append(f"lost tables {missing}")
+    if phantom:
+        parts.append(f"phantom tables {phantom}")
+    for name in sorted(set(want["tables"]) & set(got["tables"])):
+        if want["tables"][name] != got["tables"][name]:
+            wrows = want["tables"][name]["rows"]
+            grows = got["tables"][name]["rows"]
+            parts.append(
+                f"table {name}: {len(grows)} rows != {len(wrows)} expected"
+            )
+    if want["foreign_keys"] != got["foreign_keys"]:
+        parts.append("foreign keys diverged")
+    return "; ".join(parts)
+
+
+def run_durability_chaos(
+    seed: int = 0,
+    n: int = 50,
+    stop_after: int = 5,
+    progress: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Sweep ``n`` seeded crash-point cases; exact prefix durability for
+    every one of them."""
+    report = ChaosReport()
+    for case_seed in range(seed, seed + n):
+        case = build_durability_case(case_seed)
+        detail = run_durability_case(case)
+        report.cases += 1
+        report.outcomes[case.scenario] = (
+            report.outcomes.get(case.scenario, 0) + 1
+        )
+        if detail is not None:
+            report.failures.append(ChaosFailure(case, detail))
+            if progress is not None:
+                progress(
+                    f"seed {case_seed} [{case.scenario}] FAILED: {detail}"
+                )
+            if len(report.failures) >= stop_after:
+                break
+        elif progress is not None and report.cases % 25 == 0:
+            progress(f"{report.cases}/{n} cases ok")
+    return report

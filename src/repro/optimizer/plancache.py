@@ -190,6 +190,25 @@ class PlanCache:
         self.counters = LockedCounters()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
+        #: Backed-off re-plan thresholds by *version-independent* plan
+        #: shape, surviving the version-keyed entry invalidation that
+        #: every catalog mutation causes. Without it a write-heavy
+        #: workload with chronically bad estimates re-pays the re-plan
+        #: probe (threshold reset to the default) after every mutation
+        #: (DESIGN.md §13.4). Bounded like the entry LRU.
+        self._shape_thresholds: "OrderedDict[tuple, float]" = OrderedDict()
+
+    @staticmethod
+    def _shape_key(key: PlanKey) -> tuple:
+        return (key.digest, key.type_tags, key.options_tag)
+
+    def seed_threshold(self, key: PlanKey) -> float:
+        """The q-error threshold a fresh entry for ``key`` should start
+        at: the shape's last backed-off threshold if this plan shape ever
+        re-planned (under any catalog version), else the default."""
+        with self._lock:
+            remembered = self._shape_thresholds.get(self._shape_key(key))
+        return self.qerror_threshold if remembered is None else remembered
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -262,6 +281,7 @@ class PlanCache:
             if dropped:
                 self.counters.add_many(invalidations=dropped)
             self._entries.clear()
+            self._shape_thresholds.clear()
             return dropped
 
     # ------------------------------------------------------------------
@@ -296,6 +316,11 @@ class PlanCache:
             new.hits = old.hits
             new.replans = old.replans + 1
             new.qerror_threshold = old.qerror_threshold * 2.0
+            shape = self._shape_key(old.key)
+            self._shape_thresholds[shape] = new.qerror_threshold
+            self._shape_thresholds.move_to_end(shape)
+            while len(self._shape_thresholds) > 4 * self.capacity:
+                self._shape_thresholds.popitem(last=False)
             if self._entries.get(old.key) is old:
                 self._entries[old.key] = new
                 self._entries.move_to_end(old.key)

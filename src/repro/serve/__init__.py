@@ -70,6 +70,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverloaded,
     ServiceStopped,
+    WalError,
 )
 from repro.execution.governor import Budget, Governor
 from repro.observe.metrics import LockedCounters
@@ -125,12 +126,22 @@ class ServiceConfig:
     classes: dict[str, QueryClass] = field(
         default_factory=default_query_classes
     )
+    #: Open (or recover) a WAL-backed store at ``data_dir`` instead of a
+    #: fresh in-memory database; see :mod:`repro.storage.wal`.
+    durable: bool = False
+    data_dir: str | None = None
+    #: WAL fsync policy when durable: ``always`` / ``batch`` / ``never``.
+    fsync: str = "always"
+    #: Write a checkpoint (and truncate the log) during clean shutdown.
+    checkpoint_on_shutdown: bool = True
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ServiceError(
                 f"max_concurrency must be >= 1, got {self.max_concurrency}"
             )
+        if self.durable and not self.data_dir:
+            raise ServiceError("durable=True requires data_dir")
         if self.max_queue_depth < 0:
             raise ServiceError(
                 f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
@@ -426,8 +437,12 @@ class Service:
         database: Database | None = None,
         config: ServiceConfig | None = None,
     ):
-        self.database = database or Database()
         self.config = config or ServiceConfig()
+        if database is None and self.config.durable:
+            database = Database.open(
+                self.config.data_dir, fsync=self.config.fsync
+            )
+        self.database = database or Database()
         self.admission = AdmissionController(
             self.config.max_concurrency,
             self.config.max_queue_depth,
@@ -712,6 +727,11 @@ class Service:
         # block covers all reader snapshots.
         if self.database.plan_cache is not None:
             data["plan_cache"] = self.database.plan_cache.stats()
+        # Durable stores surface their WAL counters alongside the
+        # admission gauges: wal_appends, wal_bytes, fsyncs, checkpoints,
+        # recoveries.
+        if self.database.wal is not None:
+            data.update(self.database.wal.stats())
         return data
 
     def health(self) -> dict[str, Any]:
@@ -791,6 +811,16 @@ class Service:
             leaked=leaked,
             elapsed=time.monotonic() - started,
         )
+        if self.database.wal is not None:
+            # Compact the log so the next open replays from a checkpoint;
+            # recovery never *needs* this — a failed checkpoint just
+            # leaves the longer (still complete) log behind.
+            if self.config.checkpoint_on_shutdown:
+                try:
+                    self.database.checkpoint()
+                except WalError:
+                    pass
+            self.database.close()
         with self._state_lock:
             self._shutdown_report = report
         return report

@@ -68,11 +68,36 @@ class Catalog:
         #: Re-entrant so a write helper can call ``table()`` internally.
         self.mutation_lock = threading.RLock()
         self._version = 0
+        #: Optional write-ahead log (:mod:`repro.storage.wal`); when
+        #: attached, every mutation journals itself *before* applying.
+        self._wal = None
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter; bumped by every structural change."""
         return self._version
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Journal every future mutation to ``wal`` before applying it."""
+        with self.mutation_lock:
+            self._wal = wal
+
+    def _log(self, kind: str, data_fn) -> None:
+        """Append one WAL record for the mutation about to apply.
+
+        Called under ``mutation_lock`` *after* the mutation validated and
+        *before* any in-memory state changes: if the append fails (typed
+        :class:`~repro.errors.WalError`) or the process 'dies' at an
+        armed crash point, the caller's state is untouched — the durable
+        log and the acknowledged state can never diverge. ``data_fn`` is
+        lazy so non-durable catalogs pay nothing for serialization.
+        """
+        if self._wal is not None:
+            self._wal.append(self._version + 1, kind, data_fn())
 
     # ------------------------------------------------------------------
     # Table management
@@ -83,6 +108,13 @@ class Catalog:
         with self.mutation_lock:
             if key in self._tables and not replace:
                 raise CatalogError(f"table {table.name!r} already exists")
+            if self._wal is not None:
+                from repro.storage.wal import table_state
+
+                self._log(
+                    "create_table",
+                    lambda: {"table": table_state(table), "replace": replace},
+                )
             self._tables[key] = table
             self._statistics.pop(key, None)
             self._version += 1
@@ -93,6 +125,7 @@ class Catalog:
         with self.mutation_lock:
             if key not in self._tables:
                 raise CatalogError(f"cannot drop unknown table {name!r}")
+            self._log("drop_table", lambda: {"name": name})
             del self._tables[key]
             self._statistics.pop(key, None)
             self._foreign_keys = [
@@ -159,6 +192,10 @@ class Catalog:
         with self.mutation_lock:
             current = self.table(table_name)
             validated = [current.validate_row(row) for row in rows]
+            self._log(
+                "insert_rows",
+                lambda: {"table": current.name, "rows": validated},
+            )
             target = current.clone() if current.frozen else current
             target.rows.extend(validated)
             target._invalidate_indexes()
@@ -177,10 +214,44 @@ class Catalog:
                 raise CatalogError(
                     f"cannot replace unknown table {table.name!r}"
                 )
+            if self._wal is not None:
+                from repro.storage.wal import table_state
+
+                self._log(
+                    "replace_table", lambda: {"table": table_state(table)}
+                )
             self._tables[key] = table
             self._statistics.pop(key, None)
             self._version += 1
         return table
+
+    def create_index(self, table_name: str, columns: Sequence[str]):
+        """Create (or return the existing) index on a table's columns.
+
+        The catalog-level index DDL path: unlike calling
+        :meth:`Table.create_index` directly, this journals the DDL to an
+        attached WAL and bumps the catalog version, and it respects
+        copy-on-write — a frozen (snapshotted) table version is cloned
+        rather than mutated under concurrent readers.
+        """
+        with self.mutation_lock:
+            table = self.table(table_name)
+            key = tuple(table.schema.column(c).name for c in columns)
+            existing = table.indexes.get(key)
+            if existing is not None:
+                return existing
+            self._log(
+                "create_index",
+                lambda: {"table": table.name, "columns": list(key)},
+            )
+            if table.frozen:
+                target = table.clone()
+                index = target.create_index(key)
+                self._tables[table.name.lower()] = target
+            else:
+                index = table.create_index(key)
+            self._version += 1
+            return index
 
     # ------------------------------------------------------------------
     # Constraints
@@ -204,6 +275,15 @@ class Catalog:
             fk = ForeignKey(
                 child.name, tuple(child_columns),
                 parent.name, tuple(parent_columns),
+            )
+            self._log(
+                "add_foreign_key",
+                lambda: {
+                    "child_table": fk.child_table,
+                    "child_columns": list(fk.child_columns),
+                    "parent_table": fk.parent_table,
+                    "parent_columns": list(fk.parent_columns),
+                },
             )
             self._foreign_keys.append(fk)
             self._version += 1
@@ -337,3 +417,6 @@ class CatalogSnapshot(Catalog):
 
     def replace_table(self, table: Table) -> Table:
         raise self._read_only(f"replace table {table.name!r}")
+
+    def create_index(self, table_name: str, columns):
+        raise self._read_only(f"create an index on table {table_name!r}")

@@ -1,0 +1,600 @@
+"""Write-ahead logging, checkpoints, and crash recovery for the catalog.
+
+The paper's middleware assumes a durable relational store underneath it;
+until this module the reproduction's :class:`~repro.storage.catalog.
+Catalog` was purely in-memory, so a process crash lost every
+acknowledged write. This module closes that gap with the classic WAL
+discipline:
+
+* **log before apply** — every catalog mutation appends one framed
+  record to an append-only segment file *before* the in-memory state
+  changes, under the catalog's ``mutation_lock``, so the durable log is
+  always a prefix-complete journal of acknowledged history;
+* **checkpoint** — :meth:`WriteAheadLog.write_checkpoint` serializes a
+  frozen :class:`~repro.storage.catalog.CatalogSnapshot` into a
+  temp file, fsyncs, atomically renames it into place, and then deletes
+  every segment the checkpoint supersedes;
+* **recover** — :func:`recover` loads the newest checkpoint, replays
+  every WAL record with a version above it, physically truncates a torn
+  tail at the first bad frame of the newest segment, and raises the
+  typed :class:`~repro.errors.WalCorruptionError` on mid-log damage.
+
+**Record format.** Segments reuse the spill codec's framing byte for
+byte (:mod:`repro.storage.spill`)::
+
+    record   := length checksum payload
+    length   := 4-byte big-endian unsigned int, len(payload)
+    checksum := 4-byte big-endian unsigned int, zlib.crc32(payload)
+    payload  := pickle.dumps({"version": int, "kind": str, "data": {...}},
+                             protocol=4)
+
+``version`` is the :attr:`Catalog.version` the mutation *produces* —
+the monotonic counter the snapshot machinery already maintains — which
+is what makes replay idempotent: a record whose version is at or below
+the recovered state's version is skipped (it is already folded into the
+checkpoint), and a version *gap* means acknowledged history is missing
+and recovery refuses to guess.
+
+**Torn tail vs mid-log damage.** A bad frame (short header, short
+payload, or CRC mismatch) that reaches the end of the *newest* segment
+is indistinguishable from a write torn by a crash: recovery truncates
+the segment back to the last good frame and carries on. The same damage
+*followed by more log data* — later bytes in the segment or any younger
+segment — cannot be a torn write, so recovery raises
+:class:`WalCorruptionError` instead of silently dropping acknowledged
+records. One ambiguity is inherent to the format and documented in
+DESIGN.md §15: a bit flip inside the final record of the final segment
+is classified as a torn tail and truncated.
+
+**Fsync policy.** ``"always"`` fsyncs after every append (commit
+latency = one fsync), ``"batch"`` fsyncs every ``batch_every`` appends
+and on rotation/checkpoint/close, ``"never"`` leaves flushing to the
+OS. Segment files are opened unbuffered (``buffering=0``) so every
+append reaches the OS immediately regardless of policy — the policies
+differ only in when the *disk* is forced.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+from typing import Any, Callable, Iterator
+
+from repro.errors import WalCorruptionError, WalError
+from repro.storage.catalog import Catalog, ForeignKey
+from repro.storage.spill import _HEADER, PICKLE_PROTOCOL
+from repro.storage.table import Table
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+#: Fsync policies, in decreasing order of durability.
+FSYNC_ALWAYS = "always"
+FSYNC_BATCH = "batch"
+FSYNC_NEVER = "never"
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+#: Record kinds — one per Catalog mutation path.
+RECORD_KINDS = (
+    "create_table",
+    "drop_table",
+    "insert_rows",
+    "replace_table",
+    "create_index",
+    "add_foreign_key",
+)
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_CHECKPOINT_PREFIX = "checkpoint-"
+_CHECKPOINT_SUFFIX = ".ckpt"
+_TMP_SUFFIX = ".tmp"
+
+#: Default segment rotation threshold. Small enough that the rotation
+#: path gets exercised by real workloads; segments are cheap.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+
+def _segment_name(first_version: int) -> str:
+    # Zero-padded so lexicographic directory order == version order.
+    return f"{_SEGMENT_PREFIX}{first_version:020d}{_SEGMENT_SUFFIX}"
+
+
+def _checkpoint_name(version: int) -> str:
+    return f"{_CHECKPOINT_PREFIX}{version:020d}{_CHECKPOINT_SUFFIX}"
+
+
+def _encode(record: dict) -> bytes:
+    payload = pickle.dumps(record, protocol=PICKLE_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _fsync_dir(directory: str) -> None:
+    """Make a rename/create/unlink in ``directory`` durable.
+
+    Best-effort on platforms where directories cannot be opened for
+    fsync; on POSIX this is the step that makes the checkpoint rename
+    itself crash-safe."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Catalog (de)serialization — plain dicts of plain values, so the
+# checkpoint/replay payloads never pickle live engine objects with locks
+# or handles inside.
+# ---------------------------------------------------------------------------
+
+
+def table_state(table: Table) -> dict:
+    """A table as plain data: enough to rebuild it exactly on replay."""
+    return {
+        "name": table.name,
+        "columns": [
+            (c.name, c.dtype.value, c.qualifier, c.nullable)
+            for c in table.schema
+        ],
+        "rows": list(table.rows),
+        "primary_key": list(table.primary_key) if table.primary_key else None,
+        "indexes": [list(cols) for cols in table.indexes],
+    }
+
+
+def build_table(state: dict) -> Table:
+    schema = Schema(
+        Column(name, DataType(dtype), qualifier=qualifier, nullable=nullable)
+        for name, dtype, qualifier, nullable in state["columns"]
+    )
+    table = Table(state["name"], schema, primary_key=state["primary_key"])
+    table.rows = [tuple(row) for row in state["rows"]]
+    for columns in state["indexes"]:
+        table.create_index(columns)
+    return table
+
+
+def catalog_state(catalog: Catalog) -> dict:
+    """Serialize a (snapshot of a) catalog for a checkpoint payload."""
+    return {
+        "version": catalog.version,
+        "tables": [table_state(t) for t in catalog],
+        "foreign_keys": [
+            (
+                fk.child_table,
+                list(fk.child_columns),
+                fk.parent_table,
+                list(fk.parent_columns),
+            )
+            for fk in catalog.foreign_keys()
+        ],
+    }
+
+
+def restore_catalog(state: dict) -> Catalog:
+    catalog = Catalog()
+    for tstate in state["tables"]:
+        catalog.register(build_table(tstate))
+    for child, child_cols, parent, parent_cols in state["foreign_keys"]:
+        catalog.add_foreign_key(child, child_cols, parent, parent_cols)
+    # The mutations above bumped the fresh catalog's version; pin it back
+    # to the checkpointed value so replay lines up record by record.
+    catalog._version = state["version"]
+    return catalog
+
+
+def _apply_record(catalog: Catalog, kind: str, data: dict) -> None:
+    """Replay one WAL record against ``catalog`` (no WAL attached)."""
+    if kind == "create_table":
+        catalog.register(build_table(data["table"]), replace=data["replace"])
+    elif kind == "drop_table":
+        catalog.drop(data["name"])
+    elif kind == "insert_rows":
+        catalog.insert_rows(
+            data["table"], [tuple(row) for row in data["rows"]]
+        )
+    elif kind == "replace_table":
+        catalog.replace_table(build_table(data["table"]))
+    elif kind == "create_index":
+        catalog.create_index(data["table"], data["columns"])
+    elif kind == "add_foreign_key":
+        catalog.add_foreign_key(
+            data["child_table"],
+            data["child_columns"],
+            data["parent_table"],
+            data["parent_columns"],
+        )
+    else:
+        raise WalCorruptionError(f"unknown WAL record kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The writer
+# ---------------------------------------------------------------------------
+
+
+class WriteAheadLog:
+    """Append-only segmented WAL plus checkpoint files in one directory.
+
+    Not thread-safe on its own: every call happens under the owning
+    catalog's ``mutation_lock`` (the catalog appends from its mutation
+    paths, and :meth:`write_checkpoint` is invoked with the lock held so
+    the snapshot and the truncation point agree).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = FSYNC_ALWAYS,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        batch_every: int = 8,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if segment_bytes < 1:
+            raise WalError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        if batch_every < 1:
+            raise WalError(f"batch_every must be >= 1, got {batch_every}")
+        self.directory = directory
+        self.fsync_policy = fsync
+        self.segment_bytes = segment_bytes
+        self.batch_every = batch_every
+        self._handle = None
+        self._segment_path: str | None = None
+        self._segment_size = 0
+        self._unsynced_appends = 0
+        self._closed = False
+        # Observability counters, surfaced through Service.stats().
+        self.wal_appends = 0
+        self.wal_bytes = 0
+        self.fsyncs = 0
+        self.checkpoints = 0
+        self.recoveries = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- low-level file plumbing ---------------------------------------
+
+    def _segments(self) -> list[str]:
+        """Segment file names in version order."""
+        return sorted(
+            name
+            for name in os.listdir(self.directory)
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    def _checkpoints_on_disk(self) -> list[str]:
+        return sorted(
+            name
+            for name in os.listdir(self.directory)
+            if name.startswith(_CHECKPOINT_PREFIX)
+            and name.endswith(_CHECKPOINT_SUFFIX)
+        )
+
+    def _open_segment(self, path: str) -> None:
+        # buffering=0: every write() goes straight to the OS, so a
+        # simulated crash (which abandons the handle without flushing)
+        # leaves exactly the bytes written so far — like a real one.
+        self._handle = open(path, "ab", buffering=0)
+        self._segment_path = path
+        self._segment_size = os.path.getsize(path)
+        self._unsynced_appends = 0
+
+    def _ensure_segment(self, next_version: int) -> None:
+        if self._handle is None:
+            segments = self._segments()
+            if segments:
+                self._open_segment(
+                    os.path.join(self.directory, segments[-1])
+                )
+            else:
+                self._rotate(next_version)
+
+    def _rotate(self, first_version: int) -> None:
+        """Start a fresh segment that will hold ``first_version`` onward."""
+        if self._handle is not None:
+            if self.fsync_policy != FSYNC_NEVER:
+                self._sync_handle()
+            self._handle.close()
+        path = os.path.join(self.directory, _segment_name(first_version))
+        self._open_segment(path)
+
+    def _sync_handle(self) -> None:
+        if self._handle is None or self._unsynced_appends == 0:
+            return
+        self._do_fsync()
+        self._unsynced_appends = 0
+
+    def _do_fsync(self) -> None:
+        from repro.execution.faults import check_wal_fsync
+
+        check_wal_fsync()
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+
+    # -- the append path -----------------------------------------------
+
+    def append(self, version: int, kind: str, data: dict) -> None:
+        """Durably journal one mutation *before* it applies in memory.
+
+        On any failure — injected or real — the partially written frame
+        is truncated away before the error propagates, so the log never
+        retains a record whose mutation was not acknowledged. Raises
+        :class:`WalError` (typed) for I/O and fsync failures.
+        """
+        from repro.execution.faults import check_wal_append
+
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        if kind not in RECORD_KINDS:
+            raise WalError(f"unknown WAL record kind {kind!r}")
+        self._ensure_segment(version)
+        if self._segment_size >= self.segment_bytes:
+            self._rotate(version)
+        frame = _encode({"version": version, "kind": kind, "data": data})
+        short_write = check_wal_append()  # may raise SimulatedCrash
+        offset = self._segment_size
+        if short_write is not None:
+            # Injected torn write: the prefix really reaches the file,
+            # then the "process" dies mid-write.
+            from repro.execution.faults import SimulatedCrash
+
+            self._handle.write(frame[: min(short_write, len(frame) - 1)])
+            raise SimulatedCrash(
+                f"injected short write at WAL offset {offset}"
+            )
+        try:
+            self._handle.write(frame)
+            self._segment_size += len(frame)
+            self._unsynced_appends += 1
+            if self.fsync_policy == FSYNC_ALWAYS or (
+                self.fsync_policy == FSYNC_BATCH
+                and self._unsynced_appends >= self.batch_every
+            ):
+                self._sync_handle()
+        except OSError as exc:
+            # Roll the frame back so the unacknowledged record is not
+            # durable: recovered state must equal the acked prefix.
+            try:
+                os.ftruncate(self._handle.fileno(), offset)
+                self._segment_size = offset
+                self._unsynced_appends = max(0, self._unsynced_appends - 1)
+            except OSError:  # pragma: no cover - disk truly gone
+                pass
+            raise WalError(f"WAL append failed: {exc}") from exc
+        self.wal_appends += 1
+        self.wal_bytes += len(frame)
+
+    # -- checkpoints -----------------------------------------------------
+
+    def write_checkpoint(self, state: dict) -> str:
+        """Write ``state`` (a :func:`catalog_state` dict) durably.
+
+        Temp-file + fsync + atomic rename + directory fsync, then delete
+        every segment whose records the checkpoint folds in. Crash-safe
+        at every step: an interrupted temp write leaves only a ``.tmp``
+        orphan (removed by recovery), a crash before the rename leaves
+        the previous checkpoint authoritative, and a crash before the
+        segment deletion leaves stale segments that replay idempotently.
+        """
+        from repro.execution.faults import check_checkpoint
+
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        version = state["version"]
+        final_path = os.path.join(self.directory, _checkpoint_name(version))
+        tmp_path = final_path + _TMP_SUFFIX
+        frame = _encode(state)
+        try:
+            with open(tmp_path, "wb", buffering=0) as handle:
+                handle.write(frame[: len(frame) // 2])
+                check_checkpoint("temp")  # crash leaves a torn .tmp
+                handle.write(frame[len(frame) // 2:])
+                os.fsync(handle.fileno())
+                self.fsyncs += 1
+            check_checkpoint("rename")
+            os.replace(tmp_path, final_path)
+            _fsync_dir(self.directory)
+        except OSError as exc:
+            raise WalError(f"checkpoint write failed: {exc}") from exc
+        self.checkpoints += 1
+        # Everything at or below `version` is now in the checkpoint:
+        # rotate so new appends land in a fresh segment, then drop the
+        # superseded segments and older checkpoints.
+        self._rotate(version + 1)
+        check_checkpoint("truncate")
+        for name in self._segments():
+            path = os.path.join(self.directory, name)
+            if path != self._segment_path:
+                os.unlink(path)
+        for name in self._checkpoints_on_disk():
+            if name != _checkpoint_name(version):
+                os.unlink(os.path.join(self.directory, name))
+        _fsync_dir(self.directory)
+        return final_path
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, fsync (unless policy is ``never``) and close handles."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._handle is not None:
+            if self.fsync_policy != FSYNC_NEVER:
+                try:
+                    self._sync_handle()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+            self._handle.close()
+            self._handle = None
+
+    def abandon(self) -> None:
+        """Close the file handle without any flushing or fsync.
+
+        The simulated-crash path: after a :class:`~repro.execution.
+        faults.SimulatedCrash` the harness abandons the store; because
+        segments are unbuffered, closing writes nothing, so the on-disk
+        bytes are exactly what the 'crashed process' managed to write.
+        """
+        self._closed = True
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "wal_appends": self.wal_appends,
+            "wal_bytes": self.wal_bytes,
+            "fsyncs": self.fsyncs,
+            "checkpoints": self.checkpoints,
+            "recoveries": self.recoveries,
+        }
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+def _read_frames(path: str, is_last_segment: bool) -> Iterator[dict]:
+    """Yield decoded records; on a bad frame apply the torn-tail rule.
+
+    A bad frame that reaches EOF of the *last* segment is truncated
+    away in place; anywhere else it is mid-log damage.
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        offset = 0
+        while offset < size:
+            handle.seek(offset)
+            header = handle.read(_HEADER.size)
+            bad: str | None = None
+            end = offset
+            if len(header) < _HEADER.size:
+                bad = "truncated record header"
+                end = size
+            else:
+                length, checksum = _HEADER.unpack(header)
+                payload = handle.read(length)
+                end = offset + _HEADER.size + len(payload)
+                if len(payload) < length:
+                    bad = "truncated record payload"
+                elif zlib.crc32(payload) != checksum:
+                    bad = "record checksum mismatch"
+            if bad is None:
+                try:
+                    yield pickle.loads(payload)
+                except Exception as exc:
+                    raise WalCorruptionError(
+                        f"undecodable WAL record at {path}:{offset}: {exc}"
+                    ) from exc
+                offset = end
+                continue
+            if is_last_segment and end >= size:
+                # Torn tail: physically truncate back to the last good
+                # frame so the next writer appends after clean history.
+                with open(path, "r+b") as trunc:
+                    trunc.truncate(offset)
+                return
+            raise WalCorruptionError(
+                f"{bad} at {path}:{offset} with later log data following "
+                "— mid-log damage, not a torn tail"
+            )
+
+
+def _load_checkpoint(path: str) -> dict:
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise WalCorruptionError(f"truncated checkpoint header: {path}")
+        length, checksum = _HEADER.unpack(header)
+        payload = handle.read(length)
+        if len(payload) < length or zlib.crc32(payload) != checksum:
+            raise WalCorruptionError(
+                f"checkpoint failed its CRC: {path} — acknowledged history "
+                "is unreadable"
+            )
+        return pickle.loads(payload)
+
+
+def recover(
+    directory: str,
+    on_progress: Callable[[str], None] | None = None,
+) -> tuple[Catalog, int]:
+    """Rebuild the catalog from ``directory``; returns (catalog, replayed).
+
+    Protocol: remove temp-file orphans, load the newest checkpoint (its
+    CRC must pass — a corrupt newest checkpoint is unrecoverable because
+    the segments it superseded are gone), then replay every segment
+    record with ``version > checkpoint.version`` in order. Duplicates
+    (stale segments surviving a crash before checkpoint truncation)
+    replay idempotently; a version gap raises
+    :class:`WalCorruptionError`; a torn tail on the newest segment is
+    physically truncated.
+    """
+    if not os.path.isdir(directory):
+        os.makedirs(directory, exist_ok=True)
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(_TMP_SUFFIX):
+            os.unlink(os.path.join(directory, name))
+    checkpoints = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith(_CHECKPOINT_PREFIX)
+        and name.endswith(_CHECKPOINT_SUFFIX)
+    )
+    if checkpoints:
+        newest = os.path.join(directory, checkpoints[-1])
+        state = _load_checkpoint(newest)
+        catalog = restore_catalog(state)
+        if on_progress is not None:
+            on_progress(f"checkpoint {checkpoints[-1]} @v{catalog.version}")
+    else:
+        catalog = Catalog()
+    replayed = 0
+    segments = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+    )
+    for position, name in enumerate(segments):
+        path = os.path.join(directory, name)
+        is_last = position == len(segments) - 1
+        for record in _read_frames(path, is_last):
+            version = record["version"]
+            if version <= catalog.version:
+                continue  # already folded into the checkpoint — idempotent
+            if version != catalog.version + 1:
+                raise WalCorruptionError(
+                    f"WAL version gap in {name}: expected "
+                    f"{catalog.version + 1}, found {version} — "
+                    "acknowledged history is missing"
+                )
+            _apply_record(catalog, record["kind"], record["data"])
+            if catalog.version != version:
+                raise WalCorruptionError(
+                    f"replaying {record['kind']!r} @v{version} left the "
+                    f"catalog at v{catalog.version}"
+                )
+            replayed += 1
+    if on_progress is not None:
+        on_progress(f"replayed {replayed} records to v{catalog.version}")
+    return catalog, replayed

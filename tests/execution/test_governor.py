@@ -184,12 +184,22 @@ class TestGovernorThroughApi:
             db.execute(db.plan("select v from t"),
                        governor=Governor(), max_rows=5)
 
-    def test_sort_over_memory_budget_raises(self, db):
-        # PSort has no spill path: a too-small cell budget must surface
-        # as the typed memory error, not as wrong results.
+    def test_sort_under_memory_budget_spills(self, db):
+        # PSort spills to sorted runs under a cell budget (DESIGN §14.5):
+        # a budget far below the 400-row input must still produce exactly
+        # the unbudgeted rows, with the spill visible in the counters.
+        sql = "select v from t order by v"
+        plain = db.sql(sql)
+        budgeted = db.sql(sql, memory_budget=16, collect_metrics=True)
+        assert budgeted.rows == plain.rows
+        assert budgeted.metrics.total("spilled_rows") > 0
+
+    def test_sort_row_wider_than_budget_still_raises(self, db):
+        # Spilling frees the buffer, not the row: a budget smaller than
+        # one row's width can never make progress and must raise.
         with pytest.raises(MemoryBudgetExceeded) as info:
-            db.sql("select v from t order by v", memory_budget=16)
-        assert info.value.sql == "select v from t order by v"
+            db.sql("select g, v from t order by v", memory_budget=1)
+        assert info.value.sql == "select g, v from t order by v"
 
     def test_memory_budget_makes_gapply_spill_not_fail(self, db):
         plain = db.sql(GAPPLY_SQL, optimize=False)

@@ -1,0 +1,59 @@
+"""Durability chaos slice: seeded crash points must recover the exact
+acknowledged-commit prefix. The CI job runs a wider sweep through
+``python -m repro.fuzz --durability``; this battery keeps a
+representative slice in tier-1 and pins the harness determinism."""
+
+from __future__ import annotations
+
+from repro.execution.faults import DURABILITY_POINTS, FaultPlan
+from repro.fuzz.durability import (
+    build_durability_case,
+    run_durability_case,
+    run_durability_chaos,
+)
+
+
+def test_sweep_slice_is_green():
+    report = run_durability_chaos(seed=0, n=40, stop_after=3)
+    assert report.ok, report.summary()
+    assert report.cases == 40
+
+
+def test_sweep_covers_every_crash_point():
+    scenarios = {build_durability_case(seed).scenario for seed in range(120)}
+    assert scenarios == set(DURABILITY_POINTS)
+
+
+def test_case_building_is_deterministic():
+    a, b = build_durability_case(17), build_durability_case(17)
+    assert a == b
+    assert build_durability_case(18) != a
+
+
+def test_failing_detail_replays_identically():
+    # Not a failure — but the per-case runner itself must be replayable:
+    # the same case gives the same verdict twice.
+    for seed in (3, 11, 29):
+        case = build_durability_case(seed)
+        assert run_durability_case(case) == run_durability_case(case)
+
+
+def test_for_durability_plans_are_process_stable():
+    # Seed derivation must not depend on string hashing (PYTHONHASHSEED):
+    # pin a few concrete plans so a drift breaks loudly.
+    plan = FaultPlan.for_durability(0)
+    assert plan == FaultPlan.for_durability(0)
+    armed = [
+        p
+        for p in (FaultPlan.for_durability(s) for s in range(30))
+        if p != FaultPlan(seed=p.seed)
+    ]
+    assert armed  # the menu really arms crash points over a small range
+
+
+def test_cli_durability_mode(capsys):
+    from repro.fuzz.__main__ import main
+
+    assert main(["--durability", "--seed", "0", "--n", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos: 8 cases, ok" in out

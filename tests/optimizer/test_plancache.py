@@ -356,6 +356,48 @@ class TestQErrorReplan:
         assert again.plan_cache["source"] == "hit"
         assert sorted(again.rows) == sorted(drifted.rows)
 
+    def test_backoff_threshold_survives_catalog_mutation(self, tpch_catalog):
+        # DESIGN §13.4 regression: a catalog-version bump rebuilds the
+        # entry under a new key, and the rebuilt entry used to reset to
+        # the default q-error threshold — forgetting the backoff and
+        # re-entering the replan churn the backoff had just damped. The
+        # cache now remembers the backed-off threshold per plan *shape*
+        # (digest + type tags + options, version-independent) and seeds
+        # rebuilds from it.
+        db = Database(tpch_catalog)
+        prepared = db.prepare(self.SQL)
+        prepared.execute([900.0])
+        prepared.execute([1200.0])  # drift -> replan -> doubled threshold
+        doubled = 2 * db.plan_cache.qerror_threshold
+        assert db.plan_cache.entries()[0].qerror_threshold == doubled
+
+        # Mutate the workload's catalog (create + drop leaves the shared
+        # session fixture's contents untouched; the version still bumps).
+        db.create_table("plancache_scratch", [("k", DataType.INTEGER)], [])
+        db.catalog.drop("plancache_scratch")
+        rebuilt = prepared.execute([1200.0])
+        assert rebuilt.plan_cache["source"] == "miss"  # version changed
+        entry = next(
+            e
+            for e in db.plan_cache.entries()
+            if e.key.catalog_version == db.catalog.version
+        )
+        # The rebuilt entry starts from the remembered backoff, never from
+        # the default. (It may legitimately double again if this regime
+        # drifts once more — what it must never do is restart at 4.0 and
+        # re-enter the churn.)
+        assert entry.qerror_threshold >= doubled
+        assert db.plan_cache.seed_threshold(entry.key) >= doubled
+        # And the memory does not leak across clear(): a fresh build of
+        # the same shape reverts to the default threshold.
+        db.plan_cache.clear()
+        fresh = db.prepare(self.SQL)
+        fresh.execute([900.0])
+        newest = max(
+            db.plan_cache.entries(), key=lambda e: e.key.catalog_version
+        )
+        assert newest.qerror_threshold == db.plan_cache.qerror_threshold
+
     def test_replan_rows_identical_to_uncached(self, tpch_catalog):
         cached_db = Database(tpch_catalog)
         plain_db = Database(tpch_catalog, plan_cache=None)

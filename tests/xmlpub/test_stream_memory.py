@@ -17,10 +17,9 @@ external-merge-sort partition strategy. The claims under test:
   governor cell and closes every spill file
   (:func:`repro.storage.spill.live_spill_files`), on both engines.
 
-Known gap, asserted as such: the sorted-outer-union formulation's ORDER
-BY has no spill path, so under a budget it raises
-``MemoryBudgetExceeded`` instead of streaming — only the GApply
-formulation is constant-memory end to end (DESIGN.md §14).
+The sorted-outer-union formulation is covered too: its materializing
+ORDER BY now external-merge-sorts under the budget (DESIGN.md §14.5),
+so *both* publishing formulations stream constant-memory end to end.
 """
 
 import tracemalloc
@@ -169,21 +168,25 @@ def test_genuinely_too_small_budget_raises_typed_error():
     assert live_spill_files() == frozenset()
 
 
-def test_union_formulation_documented_gap():
-    # The sorted outer union needs a materializing ORDER BY with no
-    # spill path: under a budget it must fail typed, never stream wrong
-    # bytes or exhaust memory silently. (DESIGN.md §14 records this as
-    # the reason the GApply formulation is the streaming default.)
+def test_union_formulation_streams_under_budget():
+    # The sorted outer union needs a materializing ORDER BY over the
+    # whole outer-union relation; that sort now spills to disk under the
+    # budget (DESIGN §14.5), so the union formulation publishes the full
+    # document constant-memory instead of raising MemoryBudgetExceeded.
     db = fig8_db(20_000)
-    with pytest.raises(MemoryBudgetExceeded):
-        db.publish(
-            fig8_view(),
-            FIG8_QUERY,
-            "union",
-            memory_budget=BUDGET_CELLS,
-            timeout=300,
-            planner_options=SORT_SPILL,
-        ).read_all()
+    stream = db.publish(
+        fig8_view(),
+        FIG8_QUERY,
+        "union",
+        memory_budget=BUDGET_CELLS,
+        timeout=300,
+        planner_options=SORT_SPILL,
+    )
+    doc = stream.read_all()
+    assert doc.startswith(b"<groups_result>")
+    assert doc.endswith(b"</groups_result>")
+    assert 0 < stream.governor.peak_cells <= BUDGET_CELLS
+    assert stream.governor.cells_in_use == 0
     assert live_spill_files() == frozenset()
 
 
