@@ -17,7 +17,13 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.algebra.operators import LogicalOperator
-from repro.errors import BindError, PlanError, ReproError
+from repro.errors import (
+    BindError,
+    CatalogError,
+    PlanError,
+    ReproError,
+    WalError,
+)
 from repro.execution.base import PhysicalOperator
 from repro.execution.governor import Budget, Governor
 from repro.execution.parallel import BACKENDS
@@ -254,6 +260,74 @@ class RowStream:
         self.close()
 
 
+class Transaction:
+    """A multi-statement transaction handle from :meth:`Database.begin`.
+
+    All writes on the owning database between ``begin()`` and
+    :meth:`commit` belong to this transaction: they journal to the WAL
+    under one transaction id and recovery applies them atomically — a
+    crash before the durable commit record rolls the store back to the
+    state this transaction began from. :meth:`rollback` discards the
+    writes immediately (in memory and, via the abort record, in the
+    durable history).
+
+    Context-manager form commits on clean exit and rolls back when the
+    block raises::
+
+        with db.begin():
+            db.create_table("part", ...)
+            db.catalog.insert_rows("part", rows)
+            db.create_index("part", ["p_partkey"])
+        # all durable here, or none of it
+
+    The handle is single-use: after commit or rollback every further
+    call raises :class:`~repro.errors.CatalogError`. If the commit
+    itself fails durability (:class:`~repro.errors.WalError`), the
+    catalog is rolled back and the handle ends in state ``"failed"``.
+    """
+
+    def __init__(self, database: "Database"):
+        self._database = database
+        self.state = "active"
+
+    def _require_active(self, action: str) -> None:
+        if self.state != "active":
+            raise CatalogError(
+                f"cannot {action}: transaction already {self.state}"
+            )
+
+    def commit(self) -> None:
+        """Durably commit every operation made since ``begin()``."""
+        self._require_active("commit")
+        try:
+            self._database.catalog.commit_transaction()
+        except WalError:
+            self.state = "failed"
+            raise
+        self.state = "committed"
+
+    def rollback(self) -> None:
+        """Discard every operation made since ``begin()``."""
+        self._require_active("rollback")
+        try:
+            self._database.catalog.rollback_transaction()
+        except WalError:
+            self.state = "failed"
+            raise
+        self.state = "rolled back"
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state != "active":
+            return  # committed/rolled back explicitly inside the block
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+
 class Database:
     """An in-memory database with GApply support end to end.
 
@@ -289,24 +363,53 @@ class Database:
         fsync: str = "always",
         segment_bytes: int | None = None,
         batch_every: int = 8,
+        group_commit_delay: float | None = None,
+        archive: bool = False,
+        full_checkpoint_every: int | None = None,
+        recover_to: int | None = None,
         plan_cache: "PlanCache | None" = _DEFAULT_CACHE,
     ) -> "Database":
         """Open (or create) a durable database rooted at directory ``path``.
 
-        Recovery first: load the newest valid checkpoint, replay the
-        write-ahead log on top of it (truncating a torn tail on the
-        newest segment; raising :class:`~repro.errors.WalCorruptionError`
+        Recovery first: load the newest valid checkpoint chain, replay
+        the write-ahead log on top of it (truncating a torn tail on the
+        newest segment and rolling back an unterminated tail
+        transaction; raising :class:`~repro.errors.WalCorruptionError`
         on mid-log damage), then attach a writer so every subsequent
         catalog mutation journals itself before applying. ``fsync`` is
-        one of ``"always"`` / ``"batch"`` / ``"never"``
-        (:data:`repro.storage.wal.FSYNC_POLICIES`).
+        one of ``"always"`` / ``"batch"`` / ``"group"`` / ``"never"``
+        (:data:`repro.storage.wal.FSYNC_POLICIES`);
+        ``group_commit_delay`` caps how long a group-commit leader waits
+        for followers. ``archive=True`` moves superseded segments and
+        checkpoints into ``<path>/archive/`` instead of deleting them,
+        which is what makes point-in-time recovery reach past the last
+        checkpoint; ``full_checkpoint_every=N`` allows up to N-1
+        incremental checkpoint deltas between full images.
+
+        ``recover_to=version`` is **point-in-time recovery**: return a
+        read-only database pinned at exactly that committed version,
+        rebuilt from the archived chain, without modifying the store or
+        attaching a writer. Raises
+        :class:`~repro.errors.PointInTimeUnavailable` (typed) when the
+        version is not a reachable committed state.
         """
         from repro.storage import wal as walmod
 
+        if recover_to is not None:
+            catalog = walmod.recover_point_in_time(path, recover_to)
+            return cls(catalog, plan_cache=plan_cache)
         catalog, replayed = walmod.recover(path)
-        kwargs: dict[str, Any] = {"fsync": fsync, "batch_every": batch_every}
+        kwargs: dict[str, Any] = {
+            "fsync": fsync,
+            "batch_every": batch_every,
+            "archive": archive,
+        }
         if segment_bytes is not None:
             kwargs["segment_bytes"] = segment_bytes
+        if group_commit_delay is not None:
+            kwargs["group_commit_delay"] = group_commit_delay
+        if full_checkpoint_every is not None:
+            kwargs["full_checkpoint_every"] = full_checkpoint_every
         log = walmod.WriteAheadLog(path, **kwargs)
         log.recoveries = 1
         log.replayed_records = replayed
@@ -315,16 +418,39 @@ class Database:
         database.wal = log
         return database
 
-    def checkpoint(self) -> None:
+    def begin(self) -> "Transaction":
+        """Open a multi-statement transaction on this database.
+
+        Every catalog mutation until :meth:`Transaction.commit` journals
+        under one transaction id; recovery replays all of them or none.
+        Usable as a context manager: a clean exit commits, an exception
+        rolls back. One transaction at a time — concurrent writers queue
+        behind it (see ``Catalog._txn_gate``). Works on non-durable
+        databases too (rollback is in-memory-only there).
+        """
+        self.catalog.begin_transaction()
+        return Transaction(self)
+
+    def checkpoint(self, full: bool = False) -> None:
         """Serialize the current catalog into a durable checkpoint and
-        truncate the WAL segments it supersedes. No-op without a WAL."""
+        truncate (or archive) the WAL segments it supersedes. Writes an
+        incremental delta when possible unless ``full=True``. No-op
+        without a WAL; refused inside an open transaction (the
+        checkpoint would capture the pre-transaction snapshot while
+        claiming the in-transaction version)."""
         if self.wal is None:
             return
+        from repro.errors import WalError
         from repro.storage import wal as walmod
 
         with self.catalog.mutation_lock:
+            if self.catalog.in_transaction:
+                raise WalError(
+                    "cannot checkpoint inside an open transaction; "
+                    "commit or roll back first"
+                )
             state = walmod.catalog_state(self.catalog.snapshot())
-            self.wal.write_checkpoint(state)
+            self.wal.write_checkpoint(state, full=full)
 
     def close(self) -> None:
         """Flush and close the WAL (if any). The database object stays

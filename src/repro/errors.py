@@ -163,6 +163,16 @@ class WalCorruptionError(WalError):
     refuses to guess and raises this instead."""
 
 
+class PointInTimeUnavailable(WalError):
+    """A ``recover_to=`` target is not a reachable committed state.
+
+    Raised by point-in-time recovery when the requested version predates
+    the oldest archived history, exceeds the newest committed version,
+    or falls strictly inside a transaction (between its ``begin`` and
+    ``commit`` records) — only committed-state boundaries are
+    reconstructible. The message names the reachable range."""
+
+
 class WorkerCrashed(ExecutionError):
     """A worker-pool backend lost workers and exhausted its retries.
 

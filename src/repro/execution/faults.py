@@ -51,6 +51,7 @@ DURABILITY_POINTS = (
     "wal-kill",
     "wal-short-write",
     "wal-fsync-fail",
+    "group-fsync-kill",
     "checkpoint-temp",
     "checkpoint-rename",
     "checkpoint-truncate",
@@ -95,6 +96,10 @@ class FaultPlan:
     #: The Nth WAL fsync fails with OSError (the writer rolls the frame
     #: back and raises a typed WalError; the process survives).
     wal_fsync_fail_at: int | None = None
+    #: Crash (SimulatedCrash) immediately *after* the Nth successful
+    #: group-commit batch fsync — the batch is durable but no waiter was
+    #: acknowledged yet, creating durable-but-unacked "in doubt" commits.
+    group_fsync_kill_at: int | None = None
     #: Crash during the Nth checkpoint, at one of three phases:
     #: ``temp`` (mid temp-file write — leaves a .tmp orphan), ``rename``
     #: (temp fully written+fsynced, before the atomic rename), or
@@ -154,6 +159,13 @@ class FaultPlan:
             return cls(
                 seed=seed, wal_fsync_fail_at=rng.randrange(max(1, appends))
             )
+        if point == "group-fsync-kill":
+            # Group batches are far sparser than appends; aim low so the
+            # crash usually lands on a batch that actually happens.
+            return cls(
+                seed=seed,
+                group_fsync_kill_at=rng.randrange(max(1, appends // 4)),
+            )
         if point.startswith("checkpoint-"):
             return cls(
                 seed=seed,
@@ -174,6 +186,7 @@ _active: FaultPlan | None = None
 _spill_writes = 0
 _wal_appends = 0
 _wal_fsyncs = 0
+_group_fsyncs = 0
 _checkpoints = 0
 
 
@@ -184,11 +197,13 @@ def active_plan() -> FaultPlan | None:
 def install_plan(plan: FaultPlan | None) -> None:
     """Install ``plan`` process-wide (used directly by process-worker
     initializers, where a context manager has no scope to live in)."""
-    global _active, _spill_writes, _wal_appends, _wal_fsyncs, _checkpoints
+    global _active, _spill_writes, _wal_appends, _wal_fsyncs
+    global _group_fsyncs, _checkpoints
     _active = plan
     _spill_writes = 0
     _wal_appends = 0
     _wal_fsyncs = 0
+    _group_fsyncs = 0
     _checkpoints = 0
 
 
@@ -262,6 +277,27 @@ def check_wal_fsync() -> None:
     if index == plan.wal_fsync_fail_at:
         raise OSError(
             f"injected fsync failure at WAL sync {index} "
+            f"(fault seed {plan.seed})"
+        )
+
+
+def check_group_fsync() -> None:
+    """Called by the group-commit leader *after* a successful batch fsync.
+
+    The Nth batch raises :class:`SimulatedCrash` at exactly the moment
+    the batch is durable but none of its waiters has been acknowledged —
+    the 'in doubt' window group commit introduces: recovery must surface
+    those commits (they are durable), while the chaos harness's acked
+    ledger does not contain them."""
+    global _group_fsyncs
+    plan = _active
+    if plan is None or plan.group_fsync_kill_at is None:
+        return
+    index = _group_fsyncs
+    _group_fsyncs += 1
+    if index == plan.group_fsync_kill_at:
+        raise SimulatedCrash(
+            f"injected kill after group-commit fsync {index} "
             f"(fault seed {plan.seed})"
         )
 

@@ -63,7 +63,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.api import Database, QueryResult
+from repro.api import Database, QueryResult, Transaction
 from repro.errors import (
     QueryCancelled,
     ReproError,
@@ -130,8 +130,21 @@ class ServiceConfig:
     #: fresh in-memory database; see :mod:`repro.storage.wal`.
     durable: bool = False
     data_dir: str | None = None
-    #: WAL fsync policy when durable: ``always`` / ``batch`` / ``never``.
+    #: WAL fsync policy when durable: ``always`` / ``batch`` / ``group``
+    #: / ``never``. ``group`` is the concurrent-writer policy: commits
+    #: from different sessions batch into one fsync.
     fsync: str = "always"
+    #: How long a group-commit leader waits for followers to pile on
+    #: before paying for the fsync (``fsync="group"`` only).
+    group_commit_delay: float = 0.002
+    #: WAL segment rotation threshold; None = the WAL default.
+    wal_segment_bytes: int | None = None
+    #: Appends between fsyncs under the ``batch`` policy.
+    wal_batch_every: int = 8
+    #: Move superseded segments/checkpoints to ``data_dir/archive/``
+    #: instead of deleting them — retains full history for
+    #: point-in-time recovery (``Database.open(recover_to=...)``).
+    wal_archive: bool = False
     #: Write a checkpoint (and truncate the log) during clean shutdown.
     checkpoint_on_shutdown: bool = True
 
@@ -415,6 +428,13 @@ class Session:
         self.service.drop_table(name)
         self.queries.inc("ddl")
 
+    def begin(self) -> Transaction:
+        """Open a multi-statement transaction (see :meth:`Service.begin`)."""
+        self._check_open()
+        txn = self.service.begin()
+        self.queries.inc("transactions")
+        return txn
+
     def close(self) -> None:
         self._closed = True
 
@@ -439,9 +459,15 @@ class Service:
     ):
         self.config = config or ServiceConfig()
         if database is None and self.config.durable:
-            database = Database.open(
-                self.config.data_dir, fsync=self.config.fsync
-            )
+            open_kwargs: dict[str, Any] = {
+                "fsync": self.config.fsync,
+                "batch_every": self.config.wal_batch_every,
+                "group_commit_delay": self.config.group_commit_delay,
+                "archive": self.config.wal_archive,
+            }
+            if self.config.wal_segment_bytes is not None:
+                open_kwargs["segment_bytes"] = self.config.wal_segment_bytes
+            database = Database.open(self.config.data_dir, **open_kwargs)
         self.database = database or Database()
         self.admission = AdmissionController(
             self.config.max_concurrency,
@@ -703,6 +729,20 @@ class Service:
         self.database.add_foreign_key(*args, **kwargs)
         self.stats_counters.inc("ddl")
 
+    def begin(self) -> Transaction:
+        """Open a multi-statement transaction on the shared database.
+
+        Only one transaction is open at a time (the catalog's
+        transaction gate serializes writers); the returned handle is a
+        context manager that commits on clean exit and rolls back on
+        exception. Under ``fsync="group"`` concurrent committers batch
+        into shared fsyncs — see :class:`repro.api.Transaction`.
+        """
+        self._check_accepting_writes("begin transaction")
+        txn = self.database.begin()
+        self.stats_counters.inc("transactions")
+        return txn
+
     # ------------------------------------------------------------------
     # Health and stats
     # ------------------------------------------------------------------
@@ -840,5 +880,6 @@ __all__ = [
     "ServiceConfig",
     "Session",
     "ShutdownReport",
+    "Transaction",
     "default_query_classes",
 ]

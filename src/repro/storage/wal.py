@@ -1,4 +1,4 @@
-"""Write-ahead logging, checkpoints, and crash recovery for the catalog.
+"""Write-ahead logging, transactions, checkpoints, and crash recovery.
 
 The paper's middleware assumes a durable relational store underneath it;
 until this module the reproduction's :class:`~repro.storage.catalog.
@@ -10,14 +10,31 @@ discipline:
   record to an append-only segment file *before* the in-memory state
   changes, under the catalog's ``mutation_lock``, so the durable log is
   always a prefix-complete journal of acknowledged history;
-* **checkpoint** — :meth:`WriteAheadLog.write_checkpoint` serializes a
-  frozen :class:`~repro.storage.catalog.CatalogSnapshot` into a
-  temp file, fsyncs, atomically renames it into place, and then deletes
-  every segment the checkpoint supersedes;
-* **recover** — :func:`recover` loads the newest checkpoint, replays
-  every WAL record with a version above it, physically truncates a torn
-  tail at the first bad frame of the newest segment, and raises the
-  typed :class:`~repro.errors.WalCorruptionError` on mid-log damage.
+* **transactions** — ``txn_begin`` / ``txn_commit`` / ``txn_abort``
+  records bracket multi-statement transactions. Recovery replays only
+  operations covered by a durable ``txn_commit``: a crash mid-transaction
+  physically rolls the log back to the begin record, so the recovered
+  catalog is always a strict prefix of acknowledged *transactions*,
+  never a half-applied one;
+* **checkpoint** — :meth:`WriteAheadLog.write_checkpoint` serializes
+  either a full :func:`catalog_state` image or an *incremental delta*
+  (only the tables touched since the previous checkpoint, plus drops and
+  the FK list when it changed) into a temp file, fsyncs, atomically
+  renames it into place, and then deletes — or, with ``archive=True``,
+  moves into ``archive/`` — every segment the checkpoint supersedes.
+  Deltas chain back to the last full image; a full image is forced every
+  ``full_checkpoint_every`` checkpoints and on the first checkpoint
+  after open (recovery does not reconstruct the dirty set);
+* **recover** — :func:`recover` loads the newest checkpoint chain,
+  replays every committed record above it, physically truncates a torn
+  tail or an unterminated tail transaction, and raises the typed
+  :class:`~repro.errors.WalCorruptionError` on mid-log damage;
+* **point-in-time recovery** — :func:`recover_point_in_time` rebuilds
+  the catalog at *any* intermediate committed version from the archived
+  segment chain plus the live log, or raises the typed
+  :class:`~repro.errors.PointInTimeUnavailable` when the target predates
+  the oldest archive, exceeds the newest committed version, or falls
+  inside a transaction.
 
 **Record format.** Segments reuse the spill codec's framing byte for
 byte (:mod:`repro.storage.spill`)::
@@ -25,44 +42,65 @@ byte (:mod:`repro.storage.spill`)::
     record   := length checksum payload
     length   := 4-byte big-endian unsigned int, len(payload)
     checksum := 4-byte big-endian unsigned int, zlib.crc32(payload)
-    payload  := pickle.dumps({"version": int, "kind": str, "data": {...}},
-                             protocol=4)
+    payload  := pickle.dumps({"version": int, "kind": str, "data": {...},
+                              ["txn": int]}, protocol=4)
 
-``version`` is the :attr:`Catalog.version` the mutation *produces* —
-the monotonic counter the snapshot machinery already maintains — which
-is what makes replay idempotent: a record whose version is at or below
-the recovered state's version is skipped (it is already folded into the
+``version`` is the :attr:`Catalog.version` the record *produces* — the
+monotonic counter the snapshot machinery already maintains — which is
+what makes replay idempotent: a record whose version is at or below the
+recovered state's version is skipped (it is already folded into the
 checkpoint), and a version *gap* means acknowledged history is missing
-and recovery refuses to guess.
+and recovery refuses to guess. Transaction markers consume versions
+like mutations do (``begin`` and ``commit``/``abort`` each take one), so
+versions never rewind — a rolled-back transaction leaves the counter,
+but not the data, advanced.
 
-**Torn tail vs mid-log damage.** A bad frame (short header, short
-payload, or CRC mismatch) that reaches the end of the *newest* segment
-is indistinguishable from a write torn by a crash: recovery truncates
-the segment back to the last good frame and carries on. The same damage
-*followed by more log data* — later bytes in the segment or any younger
-segment — cannot be a torn write, so recovery raises
-:class:`WalCorruptionError` instead of silently dropping acknowledged
-records. One ambiguity is inherent to the format and documented in
-DESIGN.md §15: a bit flip inside the final record of the final segment
-is classified as a torn tail and truncated.
+**Torn tail vs corruption.** Only an *incomplete* final frame of the
+final segment — the file ends before the frame does — can be a write
+torn by a crash, and recovery truncates it. A *complete* frame whose
+CRC fails is never a torn write (torn writes shorten, they do not
+rewrite), so it raises :class:`WalCorruptionError` even at the tail —
+bit rot must never silently truncate acknowledged commits. Incomplete
+tails are additionally cross-checked: if the bytes after the header
+checksum clean as a whole (a flipped length field masking an intact
+final frame), or contain an embedded valid frame (a flipped length
+swallowing real records), recovery refuses instead of truncating. The
+one remaining ambiguity, documented in DESIGN.md §15: a flip in the
+final frame's length field that *extends* it past EOF while the real
+payload was already short is indistinguishable from a torn write.
 
-**Fsync policy.** ``"always"`` fsyncs after every append (commit
-latency = one fsync), ``"batch"`` fsyncs every ``batch_every`` appends
-and on rotation/checkpoint/close, ``"never"`` leaves flushing to the
-OS. Segment files are opened unbuffered (``buffering=0``) so every
-append reaches the OS immediately regardless of policy — the policies
-differ only in when the *disk* is forced.
+**Fsync policy.** ``"always"`` fsyncs at every commit point (one fsync
+per acknowledged commit; in-transaction records ride for free until the
+commit record), ``"batch"`` fsyncs every ``batch_every`` appends and on
+rotation/checkpoint/close, ``"group"`` runs *group commit* — concurrent
+committers elect a leader that waits up to ``group_commit_delay``
+seconds for followers and issues one fsync for the whole batch — and
+``"never"`` leaves flushing to the OS. Segment files are opened
+unbuffered (``buffering=0``) so every append reaches the OS immediately
+regardless of policy — the policies differ only in when the *disk* is
+forced.
+
+``python -m repro.storage.wal <dir>`` inspects a store: frame dump
+(version, kind, transaction id, CRC status), end-to-end chain
+verification, and the recoverable version range for point-in-time
+recovery.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
+import time
 import zlib
 from typing import Any, Callable, Iterator
 
-from repro.errors import WalCorruptionError, WalError
-from repro.storage.catalog import Catalog, ForeignKey
+from repro.errors import (
+    PointInTimeUnavailable,
+    WalCorruptionError,
+    WalError,
+)
+from repro.storage.catalog import Catalog
 from repro.storage.spill import _HEADER, PICKLE_PROTOCOL
 from repro.storage.table import Table
 from repro.storage.schema import Column, Schema
@@ -71,11 +109,12 @@ from repro.storage.types import DataType
 #: Fsync policies, in decreasing order of durability.
 FSYNC_ALWAYS = "always"
 FSYNC_BATCH = "batch"
+FSYNC_GROUP = "group"
 FSYNC_NEVER = "never"
-FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_GROUP, FSYNC_NEVER)
 
-#: Record kinds — one per Catalog mutation path.
-RECORD_KINDS = (
+#: Record kinds that mutate the catalog — one per mutation path.
+MUTATION_KINDS = (
     "create_table",
     "drop_table",
     "insert_rows",
@@ -84,15 +123,27 @@ RECORD_KINDS = (
     "add_foreign_key",
 )
 
+#: Transaction bracket markers; ``data`` is empty, ``txn`` carries the id.
+TXN_KINDS = ("txn_begin", "txn_commit", "txn_abort")
+
+RECORD_KINDS = MUTATION_KINDS + TXN_KINDS
+
 _SEGMENT_PREFIX = "wal-"
 _SEGMENT_SUFFIX = ".log"
 _CHECKPOINT_PREFIX = "checkpoint-"
 _CHECKPOINT_SUFFIX = ".ckpt"
 _TMP_SUFFIX = ".tmp"
+ARCHIVE_DIR = "archive"
 
 #: Default segment rotation threshold. Small enough that the rotation
 #: path gets exercised by real workloads; segments are cheap.
 DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: Force a full checkpoint image after this many incremental deltas.
+DEFAULT_FULL_CHECKPOINT_EVERY = 4
+
+#: How long a group-commit leader waits for followers to pile on.
+DEFAULT_GROUP_COMMIT_DELAY = 0.002
 
 
 def _segment_name(first_version: int) -> str:
@@ -102,6 +153,10 @@ def _segment_name(first_version: int) -> str:
 
 def _checkpoint_name(version: int) -> str:
     return f"{_CHECKPOINT_PREFIX}{version:020d}{_CHECKPOINT_SUFFIX}"
+
+
+def _checkpoint_version(name: str) -> int:
+    return int(name[len(_CHECKPOINT_PREFIX):-len(_CHECKPOINT_SUFFIX)])
 
 
 def _encode(record: dict) -> bytes:
@@ -190,7 +245,7 @@ def restore_catalog(state: dict) -> Catalog:
 
 
 def _apply_record(catalog: Catalog, kind: str, data: dict) -> None:
-    """Replay one WAL record against ``catalog`` (no WAL attached)."""
+    """Replay one WAL mutation record against ``catalog`` (no WAL attached)."""
     if kind == "create_table":
         catalog.register(build_table(data["table"]), replace=data["replace"])
     elif kind == "drop_table":
@@ -215,6 +270,96 @@ def _apply_record(catalog: Catalog, kind: str, data: dict) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Group commit
+# ---------------------------------------------------------------------------
+
+
+class _GroupCommitter:
+    """Leader/follower fsync batching for the ``group`` policy.
+
+    Committers arrive after their record is written (and after the
+    catalog mutation lock is released, so writers keep streaming frames
+    while a batch forms). The first arrival becomes leader, waits up to
+    ``max_delay`` seconds when other commits are in flight, then issues
+    one fsync that covers every frame written so far; followers just
+    wait for the durable floor to pass their own frame. A failed group
+    fsync poisons the log and truncates the unsynced suffix — memory may
+    be ahead of disk at that point, so no further appends are accepted
+    and every waiter gets the typed :class:`WalError` (its commit was
+    never acknowledged).
+    """
+
+    def __init__(self, wal: "WriteAheadLog", max_delay: float):
+        self.wal = wal
+        self.max_delay = max_delay
+        self._cond = threading.Condition()
+        self._leader_active = False
+        self._in_flight = 0
+
+    def sync(self, token: int) -> None:
+        wal = self.wal
+        with self._cond:
+            self._in_flight += 1
+        try:
+            while True:
+                with self._cond:
+                    if wal._synced_seq >= token:
+                        wal.group_commits += 1
+                        return
+                    if wal._poisoned is not None:
+                        raise WalError(
+                            f"write-ahead log is poisoned: {wal._poisoned}"
+                        )
+                    if not self._leader_active:
+                        self._leader_active = True
+                        break
+                    self._cond.wait()
+            self._lead(token)
+        finally:
+            with self._cond:
+                self._in_flight -= 1
+
+    def _lead(self, token: int) -> None:
+        """Run one batch as leader; always clears the leader flag."""
+        wal = self.wal
+        try:
+            with self._cond:
+                others = self._in_flight - 1
+            if others > 0 and self.max_delay > 0:
+                # Followers are piling on: give stragglers a beat to get
+                # their frames written before paying for the fsync.
+                time.sleep(self.max_delay)
+            failure: OSError | None = None
+            with wal._io_lock:
+                target_seq = wal._write_seq
+                target_size = wal._segment_size
+                try:
+                    wal._do_fsync()
+                    wal._synced_seq = target_seq
+                    wal._synced_size = target_size
+                    wal._unsynced_appends = 0
+                    wal.group_batches += 1
+                except OSError as exc:
+                    failure = exc
+                    wal._poison_unsynced(f"group commit fsync failed: {exc}")
+        finally:
+            with self._cond:
+                self._leader_active = False
+                self._cond.notify_all()
+        if failure is not None:
+            raise WalError(
+                f"group commit fsync failed: {failure}"
+            ) from failure
+        # The batch is durable. This is the crash point the concurrency
+        # battery arms: everything fsynced above must survive even if the
+        # process dies before a single waiter is acknowledged.
+        from repro.execution.faults import check_group_fsync
+
+        check_group_fsync()
+        self.wal.group_commits += 1
+
+
+# ---------------------------------------------------------------------------
 # The writer
 # ---------------------------------------------------------------------------
 
@@ -222,10 +367,12 @@ def _apply_record(catalog: Catalog, kind: str, data: dict) -> None:
 class WriteAheadLog:
     """Append-only segmented WAL plus checkpoint files in one directory.
 
-    Not thread-safe on its own: every call happens under the owning
-    catalog's ``mutation_lock`` (the catalog appends from its mutation
-    paths, and :meth:`write_checkpoint` is invoked with the lock held so
-    the snapshot and the truncation point agree).
+    Appends happen under the owning catalog's ``mutation_lock`` (the
+    catalog appends from its mutation paths, and
+    :meth:`write_checkpoint` is invoked with the lock held so the
+    snapshot and the truncation point agree). Group-commit waiters run
+    *outside* that lock; the internal ``_io_lock`` fences their fsync
+    against segment rotation.
     """
 
     def __init__(
@@ -234,6 +381,9 @@ class WriteAheadLog:
         fsync: str = FSYNC_ALWAYS,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         batch_every: int = 8,
+        group_commit_delay: float = DEFAULT_GROUP_COMMIT_DELAY,
+        archive: bool = False,
+        full_checkpoint_every: int = DEFAULT_FULL_CHECKPOINT_EVERY,
     ):
         if fsync not in FSYNC_POLICIES:
             raise WalError(
@@ -244,27 +394,62 @@ class WriteAheadLog:
             raise WalError(f"segment_bytes must be >= 1, got {segment_bytes}")
         if batch_every < 1:
             raise WalError(f"batch_every must be >= 1, got {batch_every}")
+        if group_commit_delay < 0:
+            raise WalError(
+                f"group_commit_delay must be >= 0, got {group_commit_delay}"
+            )
+        if full_checkpoint_every < 1:
+            raise WalError(
+                "full_checkpoint_every must be >= 1, "
+                f"got {full_checkpoint_every}"
+            )
         self.directory = directory
         self.fsync_policy = fsync
         self.segment_bytes = segment_bytes
         self.batch_every = batch_every
+        self.archive = archive
+        self.full_checkpoint_every = full_checkpoint_every
         self._handle = None
         self._segment_path: str | None = None
         self._segment_size = 0
+        self._synced_size = 0
         self._unsynced_appends = 0
+        self._write_seq = 0
+        self._synced_seq = 0
         self._closed = False
+        self._poisoned: str | None = None
+        self._io_lock = threading.RLock()
+        self._group = (
+            _GroupCommitter(self, group_commit_delay)
+            if fsync == FSYNC_GROUP
+            else None
+        )
+        # Incremental-checkpoint bookkeeping. The dirty sets only become
+        # trustworthy after the first checkpoint this writer performs
+        # (recovery replays records before the writer exists), so the
+        # first checkpoint after open is always a full image.
+        self._dirty_tables: set[str] = set()
+        self._dirty_dropped: set[str] = set()
+        self._dirty_fks = False
+        self._dirty_known = False
+        self._last_checkpoint_version: int | None = None
+        self._chain_length = 0
         # Observability counters, surfaced through Service.stats().
         self.wal_appends = 0
         self.wal_bytes = 0
         self.fsyncs = 0
         self.checkpoints = 0
+        self.full_checkpoints = 0
+        self.incremental_checkpoints = 0
         self.recoveries = 0
+        self.group_commits = 0
+        self.group_batches = 0
         os.makedirs(directory, exist_ok=True)
 
     # -- low-level file plumbing ---------------------------------------
 
     def _segments(self) -> list[str]:
-        """Segment file names in version order."""
+        """Segment file names in version order (live directory only)."""
         return sorted(
             name
             for name in os.listdir(self.directory)
@@ -287,6 +472,9 @@ class WriteAheadLog:
         self._handle = open(path, "ab", buffering=0)
         self._segment_path = path
         self._segment_size = os.path.getsize(path)
+        # Pre-existing bytes were made durable by whoever wrote them (or
+        # will be judged by recovery); treat them as the synced floor.
+        self._synced_size = self._segment_size
         self._unsynced_appends = 0
 
     def _ensure_segment(self, next_version: int) -> None:
@@ -301,18 +489,21 @@ class WriteAheadLog:
 
     def _rotate(self, first_version: int) -> None:
         """Start a fresh segment that will hold ``first_version`` onward."""
-        if self._handle is not None:
-            if self.fsync_policy != FSYNC_NEVER:
-                self._sync_handle()
-            self._handle.close()
-        path = os.path.join(self.directory, _segment_name(first_version))
-        self._open_segment(path)
+        with self._io_lock:
+            if self._handle is not None:
+                if self.fsync_policy != FSYNC_NEVER:
+                    self._sync_handle()
+                self._handle.close()
+            path = os.path.join(self.directory, _segment_name(first_version))
+            self._open_segment(path)
 
     def _sync_handle(self) -> None:
         if self._handle is None or self._unsynced_appends == 0:
             return
         self._do_fsync()
         self._unsynced_appends = 0
+        self._synced_seq = self._write_seq
+        self._synced_size = self._segment_size
 
     def _do_fsync(self) -> None:
         from repro.execution.faults import check_wal_fsync
@@ -321,10 +512,53 @@ class WriteAheadLog:
         os.fsync(self._handle.fileno())
         self.fsyncs += 1
 
+    # -- poisoning -------------------------------------------------------
+
+    @property
+    def poisoned(self) -> str | None:
+        """Why this log stopped accepting appends, or ``None``."""
+        return self._poisoned
+
+    def poison(self, reason: str) -> None:
+        """Refuse every future append/checkpoint with a typed error.
+
+        Used when the in-memory catalog can no longer be guaranteed to
+        match the durable log — a transaction terminator that failed to
+        become durable, or a failed group fsync after the mutation
+        already applied. Recovery of the on-disk state is unaffected:
+        the log is a (possibly shorter) clean prefix.
+        """
+        if self._poisoned is None:
+            self._poisoned = reason
+
+    def _poison_unsynced(self, reason: str) -> None:
+        """Poison and chop the unsynced suffix so disk == acked state."""
+        self.poison(reason)
+        if self._handle is not None:
+            try:
+                os.ftruncate(self._handle.fileno(), self._synced_size)
+                self._segment_size = self._synced_size
+            except OSError:  # pragma: no cover - disk truly gone
+                pass
+
     # -- the append path -----------------------------------------------
 
-    def append(self, version: int, kind: str, data: dict) -> None:
-        """Durably journal one mutation *before* it applies in memory.
+    def append(
+        self,
+        version: int,
+        kind: str,
+        data: dict,
+        *,
+        txn: int | None = None,
+        commit_point: bool = True,
+    ) -> int | None:
+        """Durably journal one record *before* it applies in memory.
+
+        ``txn`` tags in-transaction records with their transaction id;
+        ``commit_point`` marks records whose durability acknowledges a
+        commit (autocommit mutations, ``txn_commit``/``txn_abort``) —
+        under the ``always`` policy only commit points fsync, and under
+        ``group`` they return a token for :meth:`wait_durable`.
 
         On any failure — injected or real — the partially written frame
         is truncated away before the error propagates, so the log never
@@ -335,12 +569,25 @@ class WriteAheadLog:
 
         if self._closed:
             raise WalError("write-ahead log is closed")
+        if self._poisoned is not None:
+            raise WalError(
+                f"write-ahead log is poisoned: {self._poisoned}"
+            )
         if kind not in RECORD_KINDS:
             raise WalError(f"unknown WAL record kind {kind!r}")
-        self._ensure_segment(version)
-        if self._segment_size >= self.segment_bytes:
-            self._rotate(version)
-        frame = _encode({"version": version, "kind": kind, "data": data})
+        try:
+            self._ensure_segment(version)
+            if self._segment_size >= self.segment_bytes:
+                self._rotate(version)
+        except OSError as exc:
+            # Rotation fsync/open failure: no frame was written yet, so
+            # the append simply never happened.
+            raise WalError(f"WAL segment rotation failed: {exc}") from exc
+        record: dict[str, Any] = {"version": version, "kind": kind,
+                                  "data": data}
+        if txn is not None:
+            record["txn"] = txn
+        frame = _encode(record)
         short_write = check_wal_append()  # may raise SimulatedCrash
         offset = self._segment_size
         if short_write is not None:
@@ -355,45 +602,118 @@ class WriteAheadLog:
         try:
             self._handle.write(frame)
             self._segment_size += len(frame)
+            self._write_seq += 1
             self._unsynced_appends += 1
-            if self.fsync_policy == FSYNC_ALWAYS or (
-                self.fsync_policy == FSYNC_BATCH
-                and self._unsynced_appends >= self.batch_every
-            ):
-                self._sync_handle()
+            if self.fsync_policy == FSYNC_ALWAYS:
+                if commit_point:
+                    self._sync_handle()
+            elif self.fsync_policy == FSYNC_BATCH:
+                if self._unsynced_appends >= self.batch_every:
+                    self._sync_handle()
         except OSError as exc:
             # Roll the frame back so the unacknowledged record is not
             # durable: recovered state must equal the acked prefix.
             try:
                 os.ftruncate(self._handle.fileno(), offset)
                 self._segment_size = offset
+                self._write_seq = max(0, self._write_seq - 1)
                 self._unsynced_appends = max(0, self._unsynced_appends - 1)
             except OSError:  # pragma: no cover - disk truly gone
                 pass
             raise WalError(f"WAL append failed: {exc}") from exc
         self.wal_appends += 1
         self.wal_bytes += len(frame)
+        self._track_dirty(kind, data)
+        if self._group is not None and commit_point:
+            return self._write_seq
+        return None
+
+    def wait_durable(self, token: int | None) -> None:
+        """Block until the append identified by ``token`` is fsynced.
+
+        A no-op for ``None`` tokens and for every policy except
+        ``group`` (the other policies resolve durability inside
+        :meth:`append` itself). Called *after* the catalog mutation lock
+        is released so concurrent committers batch into one fsync.
+        Raises :class:`WalError` if the group fsync failed — the commit
+        was not acknowledged and the log is poisoned.
+        """
+        if token is None or self._group is None:
+            return
+        self._group.sync(token)
+
+    def _track_dirty(self, kind: str, data: dict) -> None:
+        """Feed the incremental-checkpoint dirty set from the record
+        stream. Transactional records are tracked optimistically — an
+        aborted transaction may over-mark tables as dirty, which only
+        costs delta bytes, never correctness (deltas serialize the real
+        catalog state)."""
+        if kind in ("create_table", "replace_table"):
+            self._dirty_tables.add(data["table"]["name"].lower())
+        elif kind in ("insert_rows", "create_index"):
+            self._dirty_tables.add(data["table"].lower())
+        elif kind == "drop_table":
+            name = data["name"].lower()
+            self._dirty_dropped.add(name)
+            # Dropping cascades over declared FKs, so the FK list moved.
+            self._dirty_fks = True
+        elif kind == "add_foreign_key":
+            self._dirty_fks = True
 
     # -- checkpoints -----------------------------------------------------
 
-    def write_checkpoint(self, state: dict) -> str:
+    def write_checkpoint(self, state: dict, full: bool = False) -> str:
         """Write ``state`` (a :func:`catalog_state` dict) durably.
 
-        Temp-file + fsync + atomic rename + directory fsync, then delete
-        every segment whose records the checkpoint folds in. Crash-safe
-        at every step: an interrupted temp write leaves only a ``.tmp``
-        orphan (removed by recovery), a crash before the rename leaves
-        the previous checkpoint authoritative, and a crash before the
-        segment deletion leaves stale segments that replay idempotently.
+        Chooses an incremental delta (tables touched since the last
+        checkpoint + drops + the FK list when it changed) when a chain
+        anchor exists and the schedule allows, otherwise a full image;
+        ``full=True`` forces the latter. Temp-file + fsync + atomic
+        rename + directory fsync, then delete (or archive) every segment
+        whose records the checkpoint folds in and every checkpoint no
+        longer part of the live chain. Crash-safe at every step: an
+        interrupted temp write leaves only a ``.tmp`` orphan (removed by
+        recovery), a crash before the rename leaves the previous
+        checkpoint authoritative, and a crash before the segment
+        deletion leaves stale segments that replay idempotently.
         """
         from repro.execution.faults import check_checkpoint
 
         if self._closed:
             raise WalError("write-ahead log is closed")
+        if self._poisoned is not None:
+            raise WalError(
+                f"write-ahead log is poisoned: {self._poisoned}"
+            )
         version = state["version"]
+        as_delta = (
+            not full
+            and self._dirty_known
+            and self._last_checkpoint_version is not None
+            and version > self._last_checkpoint_version
+            and self._chain_length + 1 < self.full_checkpoint_every
+        )
+        if as_delta:
+            dirty = self._dirty_tables
+            payload: dict[str, Any] = {
+                "format": "delta",
+                "version": version,
+                "base": self._last_checkpoint_version,
+                "tables": [
+                    t
+                    for t in state["tables"]
+                    if t["name"].lower() in dirty
+                ],
+                "dropped": sorted(self._dirty_dropped),
+                "foreign_keys": (
+                    state["foreign_keys"] if self._dirty_fks else None
+                ),
+            }
+        else:
+            payload = {"format": "full", **state}
         final_path = os.path.join(self.directory, _checkpoint_name(version))
         tmp_path = final_path + _TMP_SUFFIX
-        frame = _encode(state)
+        frame = _encode(payload)
         try:
             with open(tmp_path, "wb", buffering=0) as handle:
                 handle.write(frame[: len(frame) // 2])
@@ -407,20 +727,73 @@ class WriteAheadLog:
         except OSError as exc:
             raise WalError(f"checkpoint write failed: {exc}") from exc
         self.checkpoints += 1
-        # Everything at or below `version` is now in the checkpoint:
-        # rotate so new appends land in a fresh segment, then drop the
-        # superseded segments and older checkpoints.
-        self._rotate(version + 1)
-        check_checkpoint("truncate")
-        for name in self._segments():
-            path = os.path.join(self.directory, name)
-            if path != self._segment_path:
-                os.unlink(path)
-        for name in self._checkpoints_on_disk():
-            if name != _checkpoint_name(version):
-                os.unlink(os.path.join(self.directory, name))
-        _fsync_dir(self.directory)
+        if as_delta:
+            self.incremental_checkpoints += 1
+            self._chain_length += 1
+        else:
+            self.full_checkpoints += 1
+            self._chain_length = 0
+        self._last_checkpoint_version = version
+        self._dirty_tables.clear()
+        self._dirty_dropped.clear()
+        self._dirty_fks = False
+        self._dirty_known = True
+        # Everything at or below `version` is now reachable through the
+        # checkpoint chain: rotate so new appends land in a fresh
+        # segment, then retire the superseded segments and every
+        # checkpoint older than the chain's full anchor. The checkpoint
+        # itself is already durable; a failure in this cleanup only
+        # leaves stale files that replay idempotently.
+        try:
+            self._rotate(version + 1)
+            check_checkpoint("truncate")
+            chain_floor = self._chain_anchor_version()
+            for name in self._segments():
+                path = os.path.join(self.directory, name)
+                if path != self._segment_path:
+                    self._retire(path, name)
+            for name in self._checkpoints_on_disk():
+                if _checkpoint_version(name) < chain_floor:
+                    self._retire(os.path.join(self.directory, name), name)
+            _fsync_dir(self.directory)
+        except OSError as exc:
+            raise WalError(
+                f"checkpoint log truncation failed: {exc}"
+            ) from exc
         return final_path
+
+    def _chain_anchor_version(self) -> int:
+        """Version of the full checkpoint anchoring the live chain."""
+        anchors = [
+            _checkpoint_version(name)
+            for name in self._checkpoints_on_disk()
+        ]
+        if not anchors or self._last_checkpoint_version is None:
+            return 0
+        # The newest checkpoint minus the delta chain behind it: every
+        # checkpoint the current chain still references must survive.
+        return min(
+            v
+            for v in anchors
+            if v >= self._last_checkpoint_version - self._chain_span()
+        )
+
+    def _chain_span(self) -> int:
+        # Conservative: keep everything back through the chain that the
+        # newest delta could reference. Chain links are identified by
+        # exact base versions at load time; keeping a superset is safe.
+        return (
+            self._last_checkpoint_version or 0
+        ) if self._chain_length else 0
+
+    def _retire(self, path: str, name: str) -> None:
+        """Remove a superseded file — or move it to the archive."""
+        if self.archive:
+            archive_dir = os.path.join(self.directory, ARCHIVE_DIR)
+            os.makedirs(archive_dir, exist_ok=True)
+            os.replace(path, os.path.join(archive_dir, name))
+        else:
+            os.unlink(path)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -429,14 +802,15 @@ class WriteAheadLog:
         if self._closed:
             return
         self._closed = True
-        if self._handle is not None:
-            if self.fsync_policy != FSYNC_NEVER:
-                try:
-                    self._sync_handle()
-                except OSError:  # pragma: no cover - best effort
-                    pass
-            self._handle.close()
-            self._handle = None
+        with self._io_lock:
+            if self._handle is not None:
+                if self.fsync_policy != FSYNC_NEVER:
+                    try:
+                        self._sync_handle()
+                    except OSError:  # pragma: no cover - best effort
+                        pass
+                self._handle.close()
+                self._handle = None
 
     def abandon(self) -> None:
         """Close the file handle without any flushing or fsync.
@@ -447,11 +821,12 @@ class WriteAheadLog:
         bytes are exactly what the 'crashed process' managed to write.
         """
         self._closed = True
-        if self._handle is not None:
-            try:
-                self._handle.close()
-            finally:
-                self._handle = None
+        with self._io_lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                finally:
+                    self._handle = None
 
     def stats(self) -> dict[str, int]:
         return {
@@ -459,7 +834,11 @@ class WriteAheadLog:
             "wal_bytes": self.wal_bytes,
             "fsyncs": self.fsyncs,
             "checkpoints": self.checkpoints,
+            "full_checkpoints": self.full_checkpoints,
+            "incremental_checkpoints": self.incremental_checkpoints,
             "recoveries": self.recoveries,
+            "group_commits": self.group_commits,
+            "group_batches": self.group_batches,
         }
 
     def __enter__(self) -> "WriteAheadLog":
@@ -470,54 +849,105 @@ class WriteAheadLog:
 
 
 # ---------------------------------------------------------------------------
-# Recovery
+# Frame reading and the torn-tail / corruption classification
 # ---------------------------------------------------------------------------
 
 
-def _read_frames(path: str, is_last_segment: bool) -> Iterator[dict]:
-    """Yield decoded records; on a bad frame apply the torn-tail rule.
+def _contains_valid_frame(data: bytes) -> bool:
+    """Does any offset of ``data`` start a complete CRC-valid frame?
 
-    A bad frame that reaches EOF of the *last* segment is truncated
-    away in place; anywhere else it is mid-log damage.
+    Used on the claimed-payload bytes of an incomplete final frame: a
+    hit means the length header was corrupted into swallowing real
+    records, so truncation would silently drop acknowledged history.
     """
-    size = os.path.getsize(path)
+    limit = len(data) - _HEADER.size
+    for position in range(limit + 1):
+        length, checksum = _HEADER.unpack_from(data, position)
+        if length == 0:
+            continue  # zlib.crc32(b"") == 0: zero-runs would false-hit
+        end = position + _HEADER.size + length
+        if end > len(data):
+            continue
+        if zlib.crc32(data[position + _HEADER.size:end]) == checksum:
+            return True
+    return False
+
+
+def _read_segment(
+    path: str, is_last: bool, repair: bool = True
+) -> Iterator[tuple[dict, int]]:
+    """Yield ``(record, offset)`` for every decodable frame in a segment.
+
+    Classification of a bad frame (DESIGN.md §15):
+
+    * **complete frame, CRC mismatch** — never a torn write (a torn
+      write shortens the file; it cannot rewrite bytes), so this raises
+      :class:`WalCorruptionError` even at the very tail;
+    * **incomplete frame** (the file ends inside the header or payload)
+      in the *final* segment — a torn tail, physically truncated back to
+      the last good frame when ``repair`` is true (read-only callers
+      pass ``repair=False`` and the iterator just stops). Before
+      truncating, two cross-checks refuse flipped-length masquerades:
+      if the remaining bytes checksum clean as a whole, or contain an
+      embedded CRC-valid frame, this is corruption, not a torn write;
+    * **anything bad in a non-final segment** — mid-log damage, raises.
+    """
     with open(path, "rb") as handle:
-        offset = 0
-        while offset < size:
-            handle.seek(offset)
-            header = handle.read(_HEADER.size)
-            bad: str | None = None
-            end = offset
-            if len(header) < _HEADER.size:
-                bad = "truncated record header"
-                end = size
-            else:
-                length, checksum = _HEADER.unpack(header)
-                payload = handle.read(length)
-                end = offset + _HEADER.size + len(payload)
-                if len(payload) < length:
-                    bad = "truncated record payload"
-                elif zlib.crc32(payload) != checksum:
-                    bad = "record checksum mismatch"
-            if bad is None:
+        data = handle.read()
+    size = len(data)
+    offset = 0
+    while offset < size:
+        if size - offset < _HEADER.size:
+            bad = "truncated record header"
+            tail = b""
+            checksum = None
+        else:
+            length, checksum = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end <= size:
+                payload = data[start:end]
+                if zlib.crc32(payload) != checksum:
+                    raise WalCorruptionError(
+                        f"record checksum mismatch at {path}:{offset} on a "
+                        "complete frame — bit rot, not a torn write; "
+                        "refusing to drop acknowledged history"
+                    )
                 try:
-                    yield pickle.loads(payload)
+                    record = pickle.loads(payload)
                 except Exception as exc:
                     raise WalCorruptionError(
                         f"undecodable WAL record at {path}:{offset}: {exc}"
                     ) from exc
+                yield record, offset
                 offset = end
                 continue
-            if is_last_segment and end >= size:
-                # Torn tail: physically truncate back to the last good
-                # frame so the next writer appends after clean history.
-                with open(path, "r+b") as trunc:
-                    trunc.truncate(offset)
-                return
+            bad = "truncated record payload"
+            tail = data[start:]
+        if not is_last:
             raise WalCorruptionError(
                 f"{bad} at {path}:{offset} with later log data following "
                 "— mid-log damage, not a torn tail"
             )
+        if tail and checksum is not None:
+            if zlib.crc32(tail) == checksum:
+                raise WalCorruptionError(
+                    f"corrupt length field at {path}:{offset}: the frame's "
+                    "payload is intact and checksums clean — refusing to "
+                    "truncate an acknowledged record"
+                )
+            if _contains_valid_frame(tail):
+                raise WalCorruptionError(
+                    f"corrupt length field at {path}:{offset}: the claimed "
+                    "payload swallows a complete later frame — mid-log "
+                    "damage, not a torn tail"
+                )
+        if repair:
+            # Torn tail: physically truncate back to the last good frame
+            # so the next writer appends after clean history.
+            with open(path, "r+b") as trunc:
+                trunc.truncate(offset)
+        return
 
 
 def _load_checkpoint(path: str) -> dict:
@@ -535,26 +965,220 @@ def _load_checkpoint(path: str) -> dict:
         return pickle.loads(payload)
 
 
+def _resolve_checkpoint_chain(
+    paths_by_version: dict[int, str], newest: int
+) -> dict:
+    """Fold an incremental-checkpoint chain into one full state dict.
+
+    Walks ``base`` links from the newest checkpoint back to a full
+    image, then replays the deltas forward (drops, then table upserts,
+    then the FK list when present). A missing or unreadable link raises
+    :class:`WalCorruptionError` — half a chain is not a state.
+    """
+    chain: list[dict] = []
+    version = newest
+    seen: set[int] = set()
+    while True:
+        if version in seen:
+            raise WalCorruptionError(
+                f"incremental checkpoint chain loops at v{version}"
+            )
+        seen.add(version)
+        path = paths_by_version.get(version)
+        if path is None:
+            raise WalCorruptionError(
+                f"incremental checkpoint chain is broken: base checkpoint "
+                f"v{version} is missing"
+            )
+        state = _load_checkpoint(path)
+        chain.append(state)
+        if state.get("format", "full") != "delta":
+            break
+        version = state["base"]
+    full = chain[-1]
+    tables = {t["name"].lower(): t for t in full["tables"]}
+    foreign_keys = full["foreign_keys"]
+    resolved_version = full["version"]
+    for delta in reversed(chain[:-1]):
+        for name in delta["dropped"]:
+            tables.pop(name.lower(), None)
+        for tstate in delta["tables"]:
+            tables[tstate["name"].lower()] = tstate
+        if delta["foreign_keys"] is not None:
+            foreign_keys = delta["foreign_keys"]
+        resolved_version = delta["version"]
+    return {
+        "version": resolved_version,
+        "tables": list(tables.values()),
+        "foreign_keys": foreign_keys,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+class _TxnBuffer:
+    """Operations of one in-flight transaction during replay."""
+
+    __slots__ = ("txn_id", "begin_version", "segment_index", "offset", "ops")
+
+    def __init__(
+        self, txn_id: int, begin_version: int, segment_index: int, offset: int
+    ):
+        self.txn_id = txn_id
+        self.begin_version = begin_version
+        self.segment_index = segment_index
+        self.offset = offset
+        self.ops: list[tuple[str, dict, int]] = []
+
+
+def _replay(
+    catalog: Catalog,
+    segment_paths: list[str],
+    repair: bool,
+    stop_at: int | None = None,
+) -> tuple[int, _TxnBuffer | None, list[int], int]:
+    """Replay committed history from ``segment_paths`` onto ``catalog``.
+
+    Transactional records are buffered until their durable terminator:
+    ``txn_commit`` applies the buffer (and the begin/commit version
+    bumps), ``txn_abort`` discards it but keeps the version bumps —
+    versions never rewind. With ``stop_at``, records beyond that
+    version are tracked (for boundary reporting) but not applied.
+
+    Returns ``(replayed, pending, boundaries, max_seen)``: the count of
+    applied mutation records, the unterminated tail transaction (if
+    any), every committed-state boundary version observed (including
+    those beyond ``stop_at``), and the highest record version seen.
+    """
+    replayed = 0
+    seen = catalog.version
+    boundaries: list[int] = [catalog.version]
+    pending: _TxnBuffer | None = None
+    # Once `stop_at` is reached we stop mutating the catalog but keep
+    # scanning versions so refusals can name the reachable range.
+    for index, path in enumerate(segment_paths):
+        is_last = index == len(segment_paths) - 1
+        for record, offset in _read_segment(path, is_last, repair=repair):
+            version = record["version"]
+            if version <= seen:
+                continue  # stale duplicate — already folded in
+            if version != seen + 1:
+                raise WalCorruptionError(
+                    f"WAL version gap in {os.path.basename(path)}: expected "
+                    f"{seen + 1}, found {version} — acknowledged history "
+                    "is missing"
+                )
+            seen = version
+            kind = record["kind"]
+            txn = record.get("txn")
+            applying = stop_at is None or version <= stop_at
+            if kind == "txn_begin":
+                if pending is not None:
+                    raise WalCorruptionError(
+                        f"transaction {txn} begins at v{version} while "
+                        f"transaction {pending.txn_id} is still open — "
+                        "interleaved transactions are impossible"
+                    )
+                pending = _TxnBuffer(txn, version, index, offset)
+            elif kind == "txn_commit":
+                if pending is None or txn != pending.txn_id:
+                    raise WalCorruptionError(
+                        f"commit record for transaction {txn} at v{version} "
+                        "without a matching begin"
+                    )
+                if applying:
+                    catalog._version = pending.begin_version
+                    for op_kind, op_data, op_version in pending.ops:
+                        _apply_record(catalog, op_kind, op_data)
+                        if catalog.version != op_version:
+                            raise WalCorruptionError(
+                                f"replaying {op_kind!r} @v{op_version} left "
+                                f"the catalog at v{catalog.version}"
+                            )
+                    catalog._version = version
+                    replayed += len(pending.ops)
+                boundaries.append(version)
+                pending = None
+            elif kind == "txn_abort":
+                if pending is None or txn != pending.txn_id:
+                    raise WalCorruptionError(
+                        f"abort record for transaction {txn} at v{version} "
+                        "without a matching begin"
+                    )
+                if applying:
+                    # The rollback consumed versions but no data.
+                    catalog._version = version
+                boundaries.append(version)
+                pending = None
+            else:
+                if txn is not None:
+                    if pending is None or txn != pending.txn_id:
+                        raise WalCorruptionError(
+                            f"record for transaction {txn} at v{version} "
+                            "outside its begin/terminator bracket"
+                        )
+                    pending.ops.append((kind, record["data"], version))
+                else:
+                    if pending is not None:
+                        raise WalCorruptionError(
+                            f"autocommit record at v{version} inside open "
+                            f"transaction {pending.txn_id}"
+                        )
+                    if applying:
+                        _apply_record(catalog, kind, record["data"])
+                        if catalog.version != version:
+                            raise WalCorruptionError(
+                                f"replaying {kind!r} @v{version} left the "
+                                f"catalog at v{catalog.version}"
+                            )
+                        replayed += 1
+                    boundaries.append(version)
+    return replayed, pending, boundaries, seen
+
+
+def _rollback_tail_txn(
+    segment_paths: list[str], pending: _TxnBuffer
+) -> None:
+    """Physically erase an unterminated tail transaction from the log.
+
+    Deletes every segment after the one holding the begin record, then
+    truncates that segment back to the begin offset — the durable log
+    ends at the last committed state, exactly what recovery returned.
+    """
+    for path in segment_paths[pending.segment_index + 1:]:
+        os.unlink(path)
+    with open(segment_paths[pending.segment_index], "r+b") as handle:
+        handle.truncate(pending.offset)
+    _fsync_dir(os.path.dirname(segment_paths[pending.segment_index]))
+
+
 def recover(
     directory: str,
     on_progress: Callable[[str], None] | None = None,
+    repair: bool = True,
 ) -> tuple[Catalog, int]:
     """Rebuild the catalog from ``directory``; returns (catalog, replayed).
 
-    Protocol: remove temp-file orphans, load the newest checkpoint (its
-    CRC must pass — a corrupt newest checkpoint is unrecoverable because
-    the segments it superseded are gone), then replay every segment
-    record with ``version > checkpoint.version`` in order. Duplicates
-    (stale segments surviving a crash before checkpoint truncation)
-    replay idempotently; a version gap raises
+    Protocol: remove temp-file orphans, load the newest checkpoint chain
+    (its CRCs must pass — a corrupt newest chain is unrecoverable
+    because the segments it superseded are gone), then replay every
+    committed segment record with ``version > checkpoint.version`` in
+    order. Duplicates (stale segments surviving a crash before
+    checkpoint truncation) replay idempotently; a version gap raises
     :class:`WalCorruptionError`; a torn tail on the newest segment is
-    physically truncated.
+    physically truncated, and so is an unterminated tail transaction —
+    the catalog rolls back to the last committed state. ``repair=False``
+    (the inspection CLI) performs both analyses without touching disk.
     """
     if not os.path.isdir(directory):
         os.makedirs(directory, exist_ok=True)
-    for name in sorted(os.listdir(directory)):
-        if name.endswith(_TMP_SUFFIX):
-            os.unlink(os.path.join(directory, name))
+    if repair:
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(_TMP_SUFFIX):
+                os.unlink(os.path.join(directory, name))
     checkpoints = sorted(
         name
         for name in os.listdir(directory)
@@ -562,39 +1186,277 @@ def recover(
         and name.endswith(_CHECKPOINT_SUFFIX)
     )
     if checkpoints:
-        newest = os.path.join(directory, checkpoints[-1])
-        state = _load_checkpoint(newest)
+        by_version = {
+            _checkpoint_version(name): os.path.join(directory, name)
+            for name in checkpoints
+        }
+        state = _resolve_checkpoint_chain(
+            by_version, _checkpoint_version(checkpoints[-1])
+        )
         catalog = restore_catalog(state)
         if on_progress is not None:
             on_progress(f"checkpoint {checkpoints[-1]} @v{catalog.version}")
     else:
         catalog = Catalog()
-    replayed = 0
-    segments = sorted(
-        name
-        for name in os.listdir(directory)
-        if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
-    )
-    for position, name in enumerate(segments):
-        path = os.path.join(directory, name)
-        is_last = position == len(segments) - 1
-        for record in _read_frames(path, is_last):
-            version = record["version"]
-            if version <= catalog.version:
-                continue  # already folded into the checkpoint — idempotent
-            if version != catalog.version + 1:
-                raise WalCorruptionError(
-                    f"WAL version gap in {name}: expected "
-                    f"{catalog.version + 1}, found {version} — "
-                    "acknowledged history is missing"
-                )
-            _apply_record(catalog, record["kind"], record["data"])
-            if catalog.version != version:
-                raise WalCorruptionError(
-                    f"replaying {record['kind']!r} @v{version} left the "
-                    f"catalog at v{catalog.version}"
-                )
-            replayed += 1
+    segment_paths = [
+        os.path.join(directory, name)
+        for name in sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        )
+    ]
+    replayed, pending, _, _ = _replay(catalog, segment_paths, repair=repair)
+    if pending is not None and repair:
+        _rollback_tail_txn(segment_paths, pending)
+        if on_progress is not None:
+            on_progress(
+                f"rolled back unterminated transaction {pending.txn_id} "
+                f"(begun @v{pending.begin_version})"
+            )
     if on_progress is not None:
         on_progress(f"replayed {replayed} records to v{catalog.version}")
     return catalog, replayed
+
+
+# ---------------------------------------------------------------------------
+# Point-in-time recovery over the archived chain
+# ---------------------------------------------------------------------------
+
+
+def _gather_history(
+    directory: str,
+) -> tuple[dict[int, str], list[str]]:
+    """Checkpoints (by version) and segment paths across live + archive.
+
+    The live directory wins when both hold a checkpoint of the same
+    version (identical content either way); segments sort by their
+    version-encoded names, archive before live for equal names, and
+    stale duplicates replay idempotently.
+    """
+    archive_dir = os.path.join(directory, ARCHIVE_DIR)
+    checkpoints: dict[int, str] = {}
+    segments: list[tuple[str, int, str]] = []
+    for rank, base in enumerate((archive_dir, directory)):
+        if not os.path.isdir(base):
+            continue
+        for name in sorted(os.listdir(base)):
+            path = os.path.join(base, name)
+            if name.startswith(_CHECKPOINT_PREFIX) and name.endswith(
+                _CHECKPOINT_SUFFIX
+            ):
+                checkpoints[_checkpoint_version(name)] = path
+            elif name.startswith(_SEGMENT_PREFIX) and name.endswith(
+                _SEGMENT_SUFFIX
+            ):
+                segments.append((name, rank, path))
+    segments.sort()
+    return checkpoints, [path for _, _, path in segments]
+
+
+def recover_point_in_time(directory: str, version: int) -> Catalog:
+    """The catalog exactly as of committed version ``version``.
+
+    Reconstructs from the best checkpoint chain at or below the target
+    (searching the archive as well as the live directory) plus the
+    archived and live segments, replaying committed transactions up to
+    exactly ``version``. Never modifies the store. Raises
+    :class:`PointInTimeUnavailable` when the target is not a reachable
+    committed-state boundary — before the oldest archived history,
+    beyond the newest committed version, or inside a transaction.
+    """
+    if version < 0:
+        raise PointInTimeUnavailable(
+            f"recover_to={version}: versions are non-negative"
+        )
+    checkpoints, segment_paths = _gather_history(directory)
+    basis_version = 0
+    basis_state: dict | None = None
+    for candidate in sorted(checkpoints, reverse=True):
+        if candidate > version:
+            continue
+        basis_state = _resolve_checkpoint_chain(checkpoints, candidate)
+        basis_version = candidate
+        break
+    catalog = restore_catalog(basis_state) if basis_state else Catalog()
+    try:
+        _, _, boundaries, _ = _replay(
+            catalog, segment_paths, repair=False, stop_at=version
+        )
+    except WalCorruptionError as exc:
+        if catalog.version == version:  # pragma: no cover - damage beyond
+            return catalog
+        raise PointInTimeUnavailable(
+            f"recover_to={version}: history between v{basis_version} and "
+            f"the target is unreadable ({exc})"
+        ) from exc
+    if catalog.version == version:
+        return catalog
+    reachable = sorted(set(boundaries))
+    newest = reachable[-1] if reachable else 0
+    if version > newest:
+        raise PointInTimeUnavailable(
+            f"recover_to={version} is beyond the newest committed version "
+            f"v{newest}"
+        )
+    if version < reachable[0]:
+        raise PointInTimeUnavailable(
+            f"recover_to={version} predates the oldest recoverable history "
+            f"(v{reachable[0]}); enable archive=True to retain superseded "
+            "segments for point-in-time recovery"
+        )
+    below = max(b for b in reachable if b < version)
+    above = min(b for b in reachable if b > version)
+    raise PointInTimeUnavailable(
+        f"recover_to={version} is not a committed-state boundary (it falls "
+        f"inside a transaction); nearest committed versions are v{below} "
+        f"and v{above}"
+    )
+
+
+def recoverable_range(directory: str) -> tuple[int, int]:
+    """The ``(oldest, newest)`` committed versions PITR can reproduce.
+
+    ``oldest`` is 0 when the full record history survives (archive mode,
+    or no checkpoint has truncated the log yet), otherwise the oldest
+    checkpoint version still on disk (checkpoint versions between
+    ``oldest`` and the newest checkpoint are reachable individually;
+    versions that fell between checkpoints whose segments were deleted
+    are not). Raises :class:`WalCorruptionError` on unreadable history.
+    """
+    checkpoints, segment_paths = _gather_history(directory)
+    try:
+        # Full-history replay from the empty catalog: succeeds exactly
+        # when no checkpoint ever discarded segments (or they were all
+        # archived), in which case every version from 0 is reachable.
+        _, _, boundaries, _ = _replay(
+            Catalog(), segment_paths, repair=False
+        )
+        return 0, max(boundaries)
+    except WalCorruptionError:
+        if not checkpoints:
+            raise
+    basis = _resolve_checkpoint_chain(checkpoints, max(checkpoints))
+    catalog = restore_catalog(basis)
+    _, _, boundaries, _ = _replay(catalog, segment_paths, repair=False)
+    return min(checkpoints), max(boundaries)
+
+
+# ---------------------------------------------------------------------------
+# Inspection CLI: python -m repro.storage.wal <dir>
+# ---------------------------------------------------------------------------
+
+
+def _dump_segment(path: str, label: str, out: Callable[[str], None]) -> None:
+    """Print one line per frame, tolerating damage (marked, not raised)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+    offset = 0
+    while offset < size:
+        if size - offset < _HEADER.size:
+            out(f"  {label} @{offset}: TORN (truncated header, "
+                f"{size - offset} bytes)")
+            return
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            out(f"  {label} @{offset}: TORN (payload {size - start}/"
+                f"{length} bytes)")
+            return
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            out(f"  {label} @{offset}: crc=BAD (complete frame, "
+                f"{length} bytes)")
+            return
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            out(f"  {label} @{offset}: crc=ok but payload undecodable")
+            return
+        txn = record.get("txn")
+        out(
+            f"  {label} @{offset}: v{record['version']} "
+            f"{record['kind']} txn={txn if txn is not None else '-'} crc=ok"
+        )
+        offset = end
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Inspect a WAL directory: frames, chain verification, PITR range."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.storage.wal",
+        description=(
+            "Inspect a write-ahead-log directory: dump frames, verify the "
+            "segment/checkpoint chain end-to-end, and report the "
+            "recoverable version range for point-in-time recovery."
+        ),
+    )
+    parser.add_argument("directory", help="the WAL directory to inspect")
+    parser.add_argument(
+        "--dump",
+        action="store_true",
+        help="print every frame (version, kind, txn id, CRC status)",
+    )
+    args = parser.parse_args(argv)
+    directory = args.directory
+    if not os.path.isdir(directory):
+        print(f"error: {directory} is not a directory")
+        return 2
+    checkpoints, segment_paths = _gather_history(directory)
+    root = os.path.abspath(directory)
+    live_segments = sum(
+        1
+        for p in segment_paths
+        if os.path.dirname(os.path.abspath(p)) == root
+    )
+    archived = len(segment_paths) - live_segments
+    print(
+        f"{directory}: {live_segments} live segment(s), "
+        f"{archived} archived, {len(checkpoints)} checkpoint(s)"
+    )
+    if args.dump:
+        for path in segment_paths:
+            rel = os.path.relpath(path, directory)
+            print(f"segment {rel}:")
+            _dump_segment(path, rel, print)
+        for version in sorted(checkpoints):
+            rel = os.path.relpath(checkpoints[version], directory)
+            try:
+                state = _load_checkpoint(checkpoints[version])
+            except WalCorruptionError as exc:
+                print(f"checkpoint {rel}: UNREADABLE ({exc})")
+                continue
+            fmt = state.get("format", "full")
+            extra = (
+                f" base=v{state['base']}" if fmt == "delta" else ""
+            )
+            print(
+                f"checkpoint {rel}: v{version} {fmt}{extra} "
+                f"({len(state['tables'])} table(s))"
+            )
+    try:
+        catalog, replayed = recover(directory, repair=False)
+    except WalError as exc:
+        print(f"verify: FAILED — {type(exc).__name__}: {exc}")
+        return 1
+    print(
+        f"verify: ok — state v{catalog.version}, "
+        f"{len(catalog.table_names())} table(s), "
+        f"{replayed} record(s) beyond the newest checkpoint"
+    )
+    try:
+        oldest, newest = recoverable_range(directory)
+    except WalError as exc:
+        print(f"recoverable range: unavailable ({exc})")
+        return 1
+    print(f"recoverable versions: v{oldest}..v{newest} (recover_to=)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

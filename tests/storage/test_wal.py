@@ -152,7 +152,7 @@ class TestSegmentsAndCheckpoints:
         assert again.wal.stats()["recoveries"] == 1
         again.close()
 
-    def test_second_checkpoint_supersedes_first(self, tmp_path):
+    def test_second_checkpoint_chains_incrementally(self, tmp_path):
         db = durable_db(tmp_path)
         db.create_table("t", COLUMNS, [(1, "a")])
         db.checkpoint()
@@ -161,11 +161,34 @@ class TestSegmentsAndCheckpoints:
         checkpoints = [
             n for n in os.listdir(tmp_path) if n.startswith("checkpoint-")
         ]
-        assert len(checkpoints) == 1
+        # The second checkpoint is an incremental delta: its full base
+        # stays on disk because the chain still references it.
+        assert len(checkpoints) == 2
         assert db.wal.checkpoints == 2
+        assert db.wal.full_checkpoints == 1
+        assert db.wal.incremental_checkpoints == 1
         db.close()
         again = durable_db(tmp_path)
         assert again.catalog.table("t").rows == [(1, "a"), (2, "b")]
+        again.close()
+
+    def test_full_checkpoint_supersedes_the_chain(self, tmp_path):
+        db = durable_db(tmp_path)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(2, "b")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(3, "c")])
+        db.checkpoint(full=True)
+        checkpoints = [
+            n for n in os.listdir(tmp_path) if n.startswith("checkpoint-")
+        ]
+        # A forced full image anchors a fresh chain; the superseded
+        # full+delta pair is deleted.
+        assert len(checkpoints) == 1
+        db.close()
+        again = durable_db(tmp_path)
+        assert again.catalog.table("t").rows == [(1, "a"), (2, "b"), (3, "c")]
         again.close()
 
     def test_checkpoint_of_empty_store(self, tmp_path):

@@ -141,10 +141,11 @@ class TestMidLogDamage:
         with pytest.raises(WalCorruptionError):
             recover(str(tmp_path))
 
-    def test_payload_flip_in_final_record_is_torn_tail(self, tmp_path):
-        # The documented format ambiguity: a flip inside the last record
-        # of the last segment is indistinguishable from a torn write, so
-        # it truncates instead of raising (DESIGN.md §15 known gaps).
+    def test_payload_flip_in_final_record_raises(self, tmp_path):
+        # Closed §15 gap: a complete final frame whose CRC fails is bit
+        # rot, not a torn write (torn writes shorten the file, they do
+        # not rewrite bytes) — silently truncating it would drop an
+        # acknowledged commit. Typed refusal instead.
         build_store(str(tmp_path))
         seg = segment_path(str(tmp_path))
         offsets = frame_offsets(open(seg, "rb").read())
@@ -154,8 +155,8 @@ class TestMidLogDamage:
             byte = handle.read(1)
             handle.seek(flip_at)
             handle.write(bytes([byte[0] ^ 0xFF]))
-        catalog, _ = recover(str(tmp_path))
-        assert catalog.version == N_INSERTS
+        with pytest.raises(WalCorruptionError):
+            recover(str(tmp_path))
 
     def test_flip_in_older_segment_raises(self, tmp_path):
         # Multi-segment store: damage in any non-final segment can never

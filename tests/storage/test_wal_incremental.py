@@ -1,0 +1,186 @@
+"""Incremental checkpoints: delta format on disk, the
+``full_checkpoint_every`` schedule, chain resolution at recovery, and
+retirement of superseded files (delete vs. archive)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import Database
+from repro.errors import WalCorruptionError
+from repro.storage import DataType
+from repro.storage.wal import FSYNC_NEVER, _load_checkpoint, recover
+
+COLUMNS = [("k", DataType.INTEGER), ("v", DataType.STRING)]
+
+
+def checkpoint_files(path) -> list[str]:
+    return sorted(
+        n for n in os.listdir(path) if n.startswith("checkpoint-")
+    )
+
+
+def load(path, name) -> dict:
+    return _load_checkpoint(os.path.join(str(path), name))
+
+
+class TestDeltaFormat:
+    def test_first_checkpoint_is_always_full(self, tmp_path):
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        (name,) = checkpoint_files(tmp_path)
+        state = load(tmp_path, name)
+        assert state["format"] == "full"
+        assert db.wal.full_checkpoints == 1
+        db.close()
+
+    def test_delta_carries_only_dirty_tables(self, tmp_path):
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("big", COLUMNS, [(i, f"v{i}") for i in range(500)])
+        db.create_table("small", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("small", [(2, "b")])
+        db.checkpoint()
+        names = checkpoint_files(tmp_path)
+        assert len(names) == 2
+        delta = load(tmp_path, names[-1])
+        assert delta["format"] == "delta"
+        # Only the touched table rides in the delta; `big` stays in the
+        # base image — that is the entire point of the incremental form.
+        assert [t["name"] for t in delta["tables"]] == ["small"]
+        assert delta["dropped"] == []
+        assert delta["foreign_keys"] is None  # FK set untouched
+        base = load(tmp_path, names[0])
+        assert delta["base"] == base["version"]
+        db.close()
+
+    def test_delta_records_drops_and_fk_changes(self, tmp_path):
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("parent", COLUMNS, [(1, "a")])
+        db.create_table("child", COLUMNS, [(1, "a")])
+        db.create_table("doomed", COLUMNS, [])
+        db.checkpoint()
+        db.catalog.drop("doomed")
+        db.add_foreign_key("child", ["k"], "parent", ["k"])
+        db.checkpoint()
+        delta = load(tmp_path, checkpoint_files(tmp_path)[-1])
+        assert delta["format"] == "delta"
+        assert delta["dropped"] == ["doomed"]
+        assert delta["foreign_keys"] is not None
+        db.close()
+        catalog, _ = recover(str(tmp_path))
+        assert not catalog.has_table("doomed")
+        assert len(catalog.foreign_keys()) == 1
+
+
+class TestSchedule:
+    def test_full_checkpoint_every_caps_the_chain(self, tmp_path):
+        db = Database.open(
+            str(tmp_path), fsync=FSYNC_NEVER, full_checkpoint_every=3
+        )
+        db.create_table("t", COLUMNS, [])
+        formats = []
+        for i in range(7):
+            db.catalog.insert_rows("t", [(i, f"v{i}")])
+            db.checkpoint()
+            formats.append(
+                load(tmp_path, checkpoint_files(tmp_path)[-1])["format"]
+            )
+        # Chains of one full anchor + two deltas, then a fresh anchor.
+        assert formats == [
+            "full", "delta", "delta",
+            "full", "delta", "delta",
+            "full",
+        ]
+        assert db.wal.full_checkpoints == 3
+        assert db.wal.incremental_checkpoints == 4
+        db.close()
+        catalog, _ = recover(str(tmp_path))
+        assert len(catalog.table("t").rows) == 7
+
+    def test_forced_full_resets_the_chain(self, tmp_path):
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(2, "b")])
+        db.checkpoint(full=True)
+        names = checkpoint_files(tmp_path)
+        # The forced full superseded the first anchor entirely.
+        assert len(names) == 1
+        assert load(tmp_path, names[0])["format"] == "full"
+        db.close()
+
+    def test_recovery_from_mid_chain_state(self, tmp_path):
+        # Records after the newest delta replay on top of the resolved
+        # chain.
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(2, "b")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(3, "c")])  # tail beyond the chain
+        db.close()
+        catalog, replayed = recover(str(tmp_path))
+        assert replayed == 1
+        assert catalog.table("t").rows == [(1, "a"), (2, "b"), (3, "c")]
+
+
+class TestChainIntegrity:
+    def _chained_store(self, tmp_path) -> None:
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(2, "b")])
+        db.checkpoint()
+        db.close()
+
+    def test_missing_base_raises(self, tmp_path):
+        self._chained_store(tmp_path)
+        names = checkpoint_files(tmp_path)
+        assert load(tmp_path, names[-1])["format"] == "delta"
+        os.unlink(os.path.join(str(tmp_path), names[0]))  # the anchor
+        with pytest.raises(WalCorruptionError, match="chain"):
+            recover(str(tmp_path))
+
+    def test_corrupt_base_raises(self, tmp_path):
+        self._chained_store(tmp_path)
+        anchor = os.path.join(str(tmp_path), checkpoint_files(tmp_path)[0])
+        with open(anchor, "r+b") as handle:
+            handle.seek(12)
+            byte = handle.read(1)
+            handle.seek(12)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(WalCorruptionError):
+            recover(str(tmp_path))
+
+
+class TestRetirement:
+    def test_superseded_files_deleted_without_archive(self, tmp_path):
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(2, "b")])
+        db.checkpoint(full=True)
+        db.close()
+        assert len(checkpoint_files(tmp_path)) == 1
+        assert not os.path.isdir(tmp_path / "archive")
+
+    def test_archive_mode_moves_instead_of_deleting(self, tmp_path):
+        db = Database.open(str(tmp_path), fsync=FSYNC_NEVER, archive=True)
+        db.create_table("t", COLUMNS, [(1, "a")])
+        db.checkpoint()
+        db.catalog.insert_rows("t", [(2, "b")])
+        db.checkpoint(full=True)
+        db.close()
+        archived = sorted(os.listdir(tmp_path / "archive"))
+        # The pre-checkpoint segments and the superseded first
+        # checkpoint all moved to the archive.
+        assert any(n.startswith("wal-") for n in archived)
+        assert any(n.startswith("checkpoint-") for n in archived)
+        # And the archived history still supports full replay (PITR).
+        from repro.storage.wal import recoverable_range
+
+        assert recoverable_range(str(tmp_path))[0] == 0
